@@ -1,0 +1,184 @@
+// Astronomy: the paper's motivating debugging session, built entirely on
+// the public API. A telescope image contains a cosmic-ray hit that
+// corrupts a detected "star"; the astronomer works backward from the
+// suspicious detection to the raw pixels that produced it, identifies the
+// cosmic ray, and then traces it forward to see everything it
+// contaminated.
+//
+// The example also demonstrates how a user-defined operator exposes
+// composite lineage through the lwrite API and mapping functions
+// (paper §V): the detector's default lineage is the identity mapping and
+// payload pairs override it for flagged pixels.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"subzero"
+)
+
+// flagBright is a composite-lineage UDF: output 1 marks pixels brighter
+// than the threshold; flagged cells depend on their radius-2 neighborhood,
+// everything else on the corresponding pixel only.
+type flagBright struct {
+	subzero.Meta
+	Threshold float64
+}
+
+func newFlagBright(threshold float64) *flagBright {
+	return &flagBright{
+		Meta: subzero.Meta{
+			OpName: "flag-bright",
+			NIn:    1,
+			Modes:  []subzero.Mode{subzero.Full, subzero.Comp},
+		},
+		Threshold: threshold,
+	}
+}
+
+func (f *flagBright) OutShape(in []subzero.Shape) (subzero.Shape, error) {
+	return in[0].Clone(), nil
+}
+
+func (f *flagBright) Run(rc *subzero.RunCtx, ins []*subzero.Array) (*subzero.Array, error) {
+	in := ins[0]
+	out, err := subzero.NewArray(f.OpName, in.Shape())
+	if err != nil {
+		return nil, err
+	}
+	sp := in.Space()
+	var neigh []uint64
+	one := make([]uint64, 1)
+	for idx := uint64(0); idx < sp.Size(); idx++ {
+		flagged := in.Get(idx) > f.Threshold
+		if flagged {
+			out.Set(idx, 1)
+		}
+		one[0] = idx
+		if rc.NeedsPairs() { // tracing mode / Full lineage
+			if flagged {
+				neigh = subzero.Neighborhood(sp, sp.Unravel(idx), 2, neigh[:0])
+				if err := rc.LWrite(one, neigh); err != nil {
+					return nil, err
+				}
+			} else if err := rc.LWrite(one, one); err != nil {
+				return nil, err
+			}
+		}
+		if rc.NeedsPayload() && flagged { // composite override
+			if err := rc.LWritePayload(one, []byte{2}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// MapP expands a payload (the radius) back into input cells.
+func (f *flagBright) MapP(mc *subzero.MapCtx, out uint64, payload []byte, _ int, dst []uint64) []uint64 {
+	return subzero.Neighborhood(mc.InSpaces[0], mc.OutCoord(out), int(payload[0]), dst)
+}
+
+// MapB / MapF are the composite defaults: identity.
+func (f *flagBright) MapB(_ *subzero.MapCtx, out uint64, _ int, dst []uint64) []uint64 {
+	return append(dst, out)
+}
+
+func (f *flagBright) MapF(_ *subzero.MapCtx, in uint64, _ int, dst []uint64) []uint64 {
+	return append(dst, in)
+}
+
+func main() {
+	sys, err := subzero.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// A 32x64 "exposure": faint sky + one star + one cosmic ray.
+	shape := subzero.Shape{32, 64}
+	space := subzero.NewSpace(shape)
+	img, err := subzero.NewArray("exposure", shape)
+	if err != nil {
+		log.Fatal(err)
+	}
+	img.Fill(10)
+	star := subzero.Coord{16, 20}
+	for _, d := range [][2]int{{0, 0}, {0, 1}, {1, 0}, {-1, 0}, {0, -1}} {
+		img.SetAt(subzero.Coord{star[0] + d[0], star[1] + d[1]}, 80)
+	}
+	cosmic := subzero.Coord{8, 50}
+	img.SetAt(cosmic, 500)
+
+	// Pipeline: bias-subtract -> smooth -> flag bright pixels.
+	spec := subzero.NewSpec("astro-debug")
+	spec.Add("bias", subzero.UnaryOp("bias", func(x float64) float64 { return x - 10 }),
+		subzero.FromExternal("exposure"))
+	kernel, _ := subzero.StandardKernels("gaussian3")
+	smooth, err := subzero.ConvolveOp("smooth", kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec.Add("smooth", smooth, subzero.FromNode("bias"))
+	spec.Add("flag", newFlagBright(30), subzero.FromNode("smooth"))
+
+	plan := subzero.Plan{
+		"bias":   {subzero.StratMap},
+		"smooth": {subzero.StratMap},
+		"flag":   {subzero.StratCompOne}, // composite: payload only for flags
+	}
+	run, err := sys.Execute(spec, plan, map[string]*subzero.Array{"exposure": img})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lineage storage: %d bytes (composite stores only the flagged pixels)\n\n",
+		sys.LineageBytes())
+
+	// The detector flagged several pixels; one of them is the cosmic ray.
+	flags, err := run.Output("flag")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var flagged []uint64
+	for i, v := range flags.Data() {
+		if v > 0 {
+			flagged = append(flagged, uint64(i))
+		}
+	}
+	fmt.Printf("detections: %d flagged pixels\n", len(flagged))
+
+	// Backward: which raw pixels produced the detections?
+	back, err := sys.Query(run, subzero.BackwardQuery(flagged,
+		subzero.Step{Node: "flag"},
+		subzero.Step{Node: "smooth"},
+		subzero.Step{Node: "bias"},
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+	brightest, val := subzero.Coord{}, 0.0
+	for _, c := range back.Cells() {
+		if img.Get(c) > val {
+			val, brightest = img.Get(c), space.Unravel(c).Clone()
+		}
+	}
+	fmt.Printf("backward trace: %d candidate raw pixels; brightest %v = %.0f ADU (the cosmic ray)\n",
+		len(back.Cells()), brightest, val)
+
+	// Forward: everything the cosmic ray contaminated downstream.
+	fwd, err := sys.Query(run, subzero.ForwardQuery(
+		[]uint64{space.Ravel(brightest)},
+		subzero.Step{Node: "bias"},
+		subzero.Step{Node: "smooth"},
+		subzero.Step{Node: "flag"},
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("forward trace: the cosmic ray influenced %d detector cells\n", len(fwd.Cells()))
+	for _, step := range fwd.Steps {
+		fmt.Printf("  step %-8s via %-22s %4d -> %d cells\n",
+			step.Node, step.AccessPath, step.InCells, step.OutCells)
+	}
+}

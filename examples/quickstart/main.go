@@ -1,0 +1,83 @@
+// Quickstart: define a two-operator workflow, run it with lineage
+// capture, and trace a backward lineage query — the smallest end-to-end
+// use of the subzero public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"subzero"
+)
+
+func main() {
+	// A system with in-memory lineage stores (pass
+	// subzero.WithStorageDir(dir) for file-backed stores).
+	sys, err := subzero.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Workflow: brighten an image, then smooth it.
+	spec := subzero.NewSpec("quickstart")
+	spec.Add("brighten",
+		subzero.UnaryOp("brighten", func(x float64) float64 { return x * 1.5 }),
+		subzero.FromExternal("image"))
+	kernel, err := subzero.StandardKernels("gaussian3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	smooth, err := subzero.ConvolveOp("smooth", kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec.Add("smooth", smooth, subzero.FromNode("brighten"))
+
+	// An 8x8 input image.
+	img, err := subzero.NewArray("image", subzero.Shape{8, 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range img.Data() {
+		img.Data()[i] = float64(i)
+	}
+
+	// Built-in operators are mapping operators: lineage costs nothing to
+	// record and is computed from coordinates at query time.
+	plan := subzero.Plan{
+		"brighten": {subzero.StratMap},
+		"smooth":   {subzero.StratMap},
+	}
+	run, err := sys.Execute(spec, plan, map[string]*subzero.Array{"image": img})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Which input pixels produced smoothed cell (3,3)?
+	space := subzero.NewSpace(subzero.Shape{8, 8})
+	cell := space.Ravel(subzero.Coord{3, 3})
+	res, err := sys.Query(run, subzero.BackwardQuery(
+		[]uint64{cell},
+		subzero.Step{Node: "smooth"},
+		subzero.Step{Node: "brighten"},
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("backward lineage of smooth(3,3): %d input cells\n", len(res.Cells()))
+	for _, c := range res.Cells() {
+		fmt.Printf("  image%v\n", space.Unravel(c))
+	}
+
+	// And the other direction: which smoothed cells depend on image (0,0)?
+	fres, err := sys.Query(run, subzero.ForwardQuery(
+		[]uint64{space.Ravel(subzero.Coord{0, 0})},
+		subzero.Step{Node: "brighten"},
+		subzero.Step{Node: "smooth"},
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("forward lineage of image(0,0): %d output cells\n", len(fres.Cells()))
+}

@@ -1,0 +1,149 @@
+// Package array implements the SciDB-like data model SubZero operates on
+// (paper §IV): dense multi-dimensional arrays whose cells are addressed by
+// coordinates and carry one or more named, typed fields (attributes), plus
+// the "no overwrite" versioned array store that makes black-box lineage
+// free — every operator input and output remains addressable, so any
+// operator can be re-run in tracing mode at query time.
+//
+// Attribute values are float64; the scientific workloads in the paper
+// (telescope pixels, patient features, model likelihoods) are all numeric,
+// and integral data (labels, masks) is stored exactly since float64 holds
+// integers up to 2^53.
+package array
+
+import (
+	"fmt"
+
+	"subzero/internal/grid"
+)
+
+// Array is a dense multi-dimensional array with one or more attributes.
+// Cell (coordinate) c's value in attribute k is Attr(k)[space.Ravel(c)].
+type Array struct {
+	name  string
+	space *grid.Space
+	names []string
+	attrs [][]float64
+}
+
+// New creates a zero-filled array. If no attribute names are given, a
+// single attribute "v" is created.
+func New(name string, shape grid.Shape, attrNames ...string) (*Array, error) {
+	if err := shape.Validate(); err != nil {
+		return nil, err
+	}
+	if len(attrNames) == 0 {
+		attrNames = []string{"v"}
+	}
+	size := shape.Size()
+	if size > 1<<31 {
+		return nil, fmt.Errorf("array: %s shape %v too large (%d cells)", name, shape, size)
+	}
+	a := &Array{
+		name:  name,
+		space: grid.NewSpace(shape),
+		names: append([]string(nil), attrNames...),
+		attrs: make([][]float64, len(attrNames)),
+	}
+	for i := range a.attrs {
+		a.attrs[i] = make([]float64, size)
+	}
+	return a, nil
+}
+
+// MustNew is New for statically known-good shapes; it panics on error.
+func MustNew(name string, shape grid.Shape, attrNames ...string) *Array {
+	a, err := New(name, shape, attrNames...)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Name returns the array's name.
+func (a *Array) Name() string { return a.name }
+
+// WithName returns a shallow copy of the array under a new name, sharing
+// attribute storage. The workflow executor uses it to register an
+// operator's output under the operator's output identifier.
+func (a *Array) WithName(name string) *Array {
+	cp := *a
+	cp.name = name
+	return &cp
+}
+
+// Space returns the coordinate space.
+func (a *Array) Space() *grid.Space { return a.space }
+
+// Shape returns the array shape. Callers must not modify it.
+func (a *Array) Shape() grid.Shape { return a.space.Shape() }
+
+// Size returns the number of cells.
+func (a *Array) Size() uint64 { return a.space.Size() }
+
+// NumAttrs returns the number of attributes.
+func (a *Array) NumAttrs() int { return len(a.attrs) }
+
+// AttrNames returns the attribute names in declaration order.
+func (a *Array) AttrNames() []string { return append([]string(nil), a.names...) }
+
+// Attr returns the backing slice of attribute k (row-major). The slice may
+// be read and written directly by operators; it must not be resized.
+func (a *Array) Attr(k int) []float64 { return a.attrs[k] }
+
+// Data returns attribute 0, the primary value of each cell.
+func (a *Array) Data() []float64 { return a.attrs[0] }
+
+// Get returns attribute 0 at a linear index.
+func (a *Array) Get(idx uint64) float64 { return a.attrs[0][idx] }
+
+// Set assigns attribute 0 at a linear index.
+func (a *Array) Set(idx uint64, v float64) { a.attrs[0][idx] = v }
+
+// GetAt returns attribute 0 at a coordinate.
+func (a *Array) GetAt(c grid.Coord) float64 { return a.attrs[0][a.space.Ravel(c)] }
+
+// SetAt assigns attribute 0 at a coordinate.
+func (a *Array) SetAt(c grid.Coord, v float64) { a.attrs[0][a.space.Ravel(c)] = v }
+
+// Get2 returns attribute 0 at (row, col) of a 2-D array.
+func (a *Array) Get2(r, c int) float64 {
+	return a.attrs[0][uint64(r)*uint64(a.space.Shape()[1])+uint64(c)]
+}
+
+// Set2 assigns attribute 0 at (row, col) of a 2-D array.
+func (a *Array) Set2(r, c int, v float64) {
+	a.attrs[0][uint64(r)*uint64(a.space.Shape()[1])+uint64(c)] = v
+}
+
+// Fill assigns v to every cell of attribute 0.
+func (a *Array) Fill(v float64) {
+	data := a.attrs[0]
+	for i := range data {
+		data[i] = v
+	}
+}
+
+// Clone returns a deep copy with the same name.
+func (a *Array) Clone() *Array {
+	c := &Array{name: a.name, space: a.space, names: append([]string(nil), a.names...)}
+	c.attrs = make([][]float64, len(a.attrs))
+	for i, d := range a.attrs {
+		c.attrs[i] = append([]float64(nil), d...)
+	}
+	return c
+}
+
+// MemoryBytes returns the approximate heap footprint of the cell data,
+// which the benchmarks report as array storage cost.
+func (a *Array) MemoryBytes() int64 {
+	var total int64
+	for _, d := range a.attrs {
+		total += int64(len(d)) * 8
+	}
+	return total
+}
+
+func (a *Array) String() string {
+	return fmt.Sprintf("Array(%s %v x%d attrs)", a.name, a.Shape(), len(a.attrs))
+}

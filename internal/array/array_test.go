@@ -1,0 +1,143 @@
+package array
+
+import (
+	"testing"
+
+	"subzero/internal/grid"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("a", grid.Shape{}); err == nil {
+		t.Fatal("empty shape accepted")
+	}
+	if _, err := New("a", grid.Shape{0, 5}); err == nil {
+		t.Fatal("zero extent accepted")
+	}
+	if _, err := New("a", grid.Shape{1 << 20, 1 << 20}); err == nil {
+		t.Fatal("oversized array accepted")
+	}
+}
+
+func TestDefaultAttribute(t *testing.T) {
+	a := MustNew("img", grid.Shape{2, 3})
+	if a.NumAttrs() != 1 || a.AttrNames()[0] != "v" {
+		t.Fatalf("default attrs=%v", a.AttrNames())
+	}
+	if a.Size() != 6 {
+		t.Fatalf("Size=%d", a.Size())
+	}
+}
+
+func TestMultiAttr(t *testing.T) {
+	a := MustNew("obs", grid.Shape{4}, "flux", "mask")
+	if a.NumAttrs() != 2 {
+		t.Fatal("attr count")
+	}
+	a.Attr(1)[2] = 7
+	if a.Attr(0)[2] != 0 || a.Attr(1)[2] != 7 {
+		t.Fatal("attributes not independent")
+	}
+}
+
+func TestGetSetAccessors(t *testing.T) {
+	a := MustNew("m", grid.Shape{3, 4})
+	a.Set(5, 1.5)
+	if a.Get(5) != 1.5 {
+		t.Fatal("linear accessor")
+	}
+	a.SetAt(grid.Coord{2, 3}, 9)
+	if a.GetAt(grid.Coord{2, 3}) != 9 || a.Get(11) != 9 {
+		t.Fatal("coord accessor")
+	}
+	a.Set2(1, 2, 4)
+	if a.Get2(1, 2) != 4 || a.GetAt(grid.Coord{1, 2}) != 4 {
+		t.Fatal("2d accessor")
+	}
+}
+
+func TestFillAndClone(t *testing.T) {
+	a := MustNew("x", grid.Shape{10})
+	a.Fill(3)
+	c := a.Clone()
+	c.Set(0, 99)
+	if a.Get(0) != 3 {
+		t.Fatal("clone aliases parent")
+	}
+	for i := uint64(0); i < 10; i++ {
+		if c.Get(i) != 99 && c.Get(i) != 3 {
+			t.Fatal("fill wrong")
+		}
+	}
+}
+
+func TestWithNameShares(t *testing.T) {
+	a := MustNew("orig", grid.Shape{5})
+	b := a.WithName("renamed")
+	b.Set(1, 42)
+	if a.Get(1) != 42 {
+		t.Fatal("WithName must share storage")
+	}
+	if a.Name() != "orig" || b.Name() != "renamed" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	a := MustNew("m", grid.Shape{10, 10}, "x", "y")
+	if a.MemoryBytes() != 10*10*8*2 {
+		t.Fatalf("MemoryBytes=%d", a.MemoryBytes())
+	}
+}
+
+func TestVersionsNoOverwrite(t *testing.T) {
+	vs := NewVersions()
+	a0 := MustNew("img", grid.Shape{2, 2})
+	a0.Fill(1)
+	a1 := MustNew("img", grid.Shape{2, 2})
+	a1.Fill(2)
+
+	if v := vs.Put(a0); v != 0 {
+		t.Fatalf("first version=%d", v)
+	}
+	if v := vs.Put(a1); v != 1 {
+		t.Fatalf("second version=%d", v)
+	}
+	got0, err := vs.Get("img", 0)
+	if err != nil || got0.Get(0) != 1 {
+		t.Fatal("old version lost (no-overwrite violated)")
+	}
+	latest, err := vs.Latest("img")
+	if err != nil || latest.Get(0) != 2 {
+		t.Fatal("latest wrong")
+	}
+	if vs.NumVersions("img") != 2 {
+		t.Fatal("version count")
+	}
+}
+
+func TestVersionsErrors(t *testing.T) {
+	vs := NewVersions()
+	if _, err := vs.Latest("ghost"); err == nil {
+		t.Fatal("unknown array returned")
+	}
+	vs.Put(MustNew("a", grid.Shape{1}))
+	if _, err := vs.Get("a", 5); err == nil {
+		t.Fatal("out-of-range version returned")
+	}
+	if _, err := vs.Get("a", -1); err == nil {
+		t.Fatal("negative version returned")
+	}
+}
+
+func TestVersionsAccounting(t *testing.T) {
+	vs := NewVersions()
+	vs.Put(MustNew("a", grid.Shape{100}))
+	vs.Put(MustNew("b", grid.Shape{50}))
+	if vs.TotalBytes() != (100+50)*8 {
+		t.Fatalf("TotalBytes=%d", vs.TotalBytes())
+	}
+	names := vs.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names=%v", names)
+	}
+}

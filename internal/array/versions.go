@@ -1,0 +1,86 @@
+package array
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Versions is the "no overwrite" array store (paper §IV): every update to a
+// named array appends a new immutable version, and intermediate workflow
+// results are always retained. This is what makes black-box lineage free to
+// record — the inputs needed to re-run any operator are always present.
+type Versions struct {
+	mu   sync.RWMutex
+	data map[string][]*Array
+}
+
+// NewVersions creates an empty store.
+func NewVersions() *Versions {
+	return &Versions{data: make(map[string][]*Array)}
+}
+
+// Put appends a new version of the array under its name and returns the
+// version number (0 for the first).
+func (v *Versions) Put(a *Array) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.data[a.Name()] = append(v.data[a.Name()], a)
+	return len(v.data[a.Name()]) - 1
+}
+
+// Get returns a specific version of a named array.
+func (v *Versions) Get(name string, version int) (*Array, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	vs := v.data[name]
+	if version < 0 || version >= len(vs) {
+		return nil, fmt.Errorf("array: no version %d of %q (have %d)", version, name, len(vs))
+	}
+	return vs[version], nil
+}
+
+// Latest returns the most recent version of a named array.
+func (v *Versions) Latest(name string) (*Array, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	vs := v.data[name]
+	if len(vs) == 0 {
+		return nil, fmt.Errorf("array: unknown array %q", name)
+	}
+	return vs[len(vs)-1], nil
+}
+
+// NumVersions returns how many versions of name exist.
+func (v *Versions) NumVersions(name string) int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.data[name])
+}
+
+// Names returns all stored array names, sorted.
+func (v *Versions) Names() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]string, 0, len(v.data))
+	for n := range v.data {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalBytes returns the cell-data footprint of every stored version; the
+// paper compares lineage overhead against this quantity ("the cost of
+// storing the intermediate and final results").
+func (v *Versions) TotalBytes() int64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	var total int64
+	for _, vs := range v.data {
+		for _, a := range vs {
+			total += a.MemoryBytes()
+		}
+	}
+	return total
+}

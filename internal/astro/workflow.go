@@ -1,0 +1,123 @@
+package astro
+
+import (
+	"fmt"
+	"math"
+
+	"subzero/internal/ops"
+	"subzero/internal/workflow"
+)
+
+// Operator thresholds calibrated against the generator's brightness scale.
+const (
+	biasLevel     = 100.0 // generator sky level
+	crThreshold   = 200.0 // post-pipeline cosmic-ray brightness floor
+	starThreshold = 20.0  // post-cleaning star-core brightness floor
+)
+
+// Node identifiers of the four UDFs (paper Figure 1's A-D).
+const (
+	NodeCRD1       = "A-crd1"
+	NodeCRD2       = "B-crd2"
+	NodeCRRemove   = "C-crremove"
+	NodeStarDetect = "D-stardetect"
+)
+
+// BuiltinIDs lists the 22 built-in node ids; UDFIDs the 4 UDFs.
+var UDFIDs = []string{NodeCRD1, NodeCRD2, NodeCRRemove, NodeStarDetect}
+
+// gaussian3 is the 3x3 smoothing kernel used by both branches.
+func gaussian3() [][]float64 {
+	return [][]float64{
+		{1.0 / 16, 2.0 / 16, 1.0 / 16},
+		{2.0 / 16, 4.0 / 16, 2.0 / 16},
+		{1.0 / 16, 2.0 / 16, 1.0 / 16},
+	}
+}
+
+// branchNodes returns the 9 built-in node ids of one exposure branch.
+func branchNodes(prefix string) []string {
+	out := make([]string, 0, 9)
+	for _, n := range []string{"bias", "gain", "smooth", "bgmean", "bgsub", "clip", "denoise", "std", "norm"} {
+		out = append(out, prefix+"/"+n)
+	}
+	return out
+}
+
+// BuiltinIDs returns the 22 built-in node ids of the workflow.
+func BuiltinIDs() []string {
+	ids := append(branchNodes("b1"), branchNodes("b2")...)
+	return append(ids, "merge", "maskor", "postsmooth", "contrast")
+}
+
+// NewSpec builds the LSST workflow of Figure 1: per-exposure cleaning
+// branches (9 built-ins each), cosmic-ray detection per exposure (UDFs A
+// and B), exposure merging and mask union, cosmic-ray removal on the
+// composite (UDF C), post-processing, and star detection (UDF D) — 22
+// built-in operators and 4 UDFs.
+func NewSpec() (*workflow.Spec, error) {
+	spec := workflow.NewSpec("astro")
+	addBranch := func(prefix, source string) (string, error) {
+		smoothK, err := ops.NewConvolve2D("smooth", gaussian3())
+		if err != nil {
+			return "", err
+		}
+		denoiseK, err := ops.NewConvolve2D("denoise", gaussian3())
+		if err != nil {
+			return "", err
+		}
+		id := func(n string) string { return prefix + "/" + n }
+		spec.Add(id("bias"), ops.NewUnary("bias-sub", func(x float64) float64 { return x - biasLevel }),
+			workflow.FromExternal(source))
+		spec.Add(id("gain"), ops.NewUnary("gain", func(x float64) float64 { return x * 1.02 }),
+			workflow.FromNode(id("bias")))
+		spec.Add(id("smooth"), smoothK, workflow.FromNode(id("gain")))
+		spec.Add(id("bgmean"), ops.NewMeanAll(), workflow.FromNode(id("smooth")))
+		spec.Add(id("bgsub"), ops.NewBroadcast("bg-sub", func(x, m float64) float64 { return x - m }),
+			workflow.FromNode(id("smooth")), workflow.FromNode(id("bgmean")))
+		spec.Add(id("clip"), ops.NewUnary("clip", func(x float64) float64 { return math.Max(x, 0) }),
+			workflow.FromNode(id("bgsub")))
+		spec.Add(id("denoise"), denoiseK, workflow.FromNode(id("clip")))
+		spec.Add(id("std"), ops.NewStdAll(), workflow.FromNode(id("denoise")))
+		spec.Add(id("norm"), ops.NewBroadcast("norm", func(x, s float64) float64 { return x / (1 + s/1000) }),
+			workflow.FromNode(id("denoise")), workflow.FromNode(id("std")))
+		return id("norm"), nil
+	}
+
+	out1, err := addBranch("b1", "img1")
+	if err != nil {
+		return nil, err
+	}
+	out2, err := addBranch("b2", "img2")
+	if err != nil {
+		return nil, err
+	}
+	spec.Add(NodeCRD1, NewCosmicRayDetect(crThreshold), workflow.FromNode(out1))
+	spec.Add(NodeCRD2, NewCosmicRayDetect(crThreshold), workflow.FromNode(out2))
+	spec.Add("merge", ops.NewBinary("merge-mean", func(a, b float64) float64 { return (a + b) / 2 }),
+		workflow.FromNode(out1), workflow.FromNode(out2))
+	spec.Add("maskor", ops.NewBinary("mask-or", math.Max),
+		workflow.FromNode(NodeCRD1), workflow.FromNode(NodeCRD2))
+	spec.Add(NodeCRRemove, NewCosmicRayRemove(),
+		workflow.FromNode("merge"), workflow.FromNode("maskor"))
+	post, err := ops.NewConvolve2D("post-smooth", gaussian3())
+	if err != nil {
+		return nil, err
+	}
+	spec.Add("postsmooth", post, workflow.FromNode(NodeCRRemove))
+	spec.Add("contrast", ops.NewUnary("contrast", func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		return math.Pow(x, 0.95)
+	}), workflow.FromNode("postsmooth"))
+	spec.Add(NodeStarDetect, NewStarDetect(starThreshold), workflow.FromNode("contrast"))
+
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("astro: %w", err)
+	}
+	if got := len(spec.Nodes()); got != 26 {
+		return nil, fmt.Errorf("astro: workflow has %d nodes, want 26 (22 built-ins + 4 UDFs)", got)
+	}
+	return spec, nil
+}

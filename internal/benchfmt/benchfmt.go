@@ -1,0 +1,132 @@
+// Package benchfmt formats benchmark measurements as the aligned text
+// tables the subzero-bench harness prints — one table or series per paper
+// figure.
+package benchfmt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table accumulates rows and prints them with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v unless they are
+// durations or byte counts, which get human units.
+func (t *Table) AddRow(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		row[i] = format(v)
+	}
+	t.rows = append(t.rows, row)
+}
+
+func format(v any) string {
+	switch x := v.(type) {
+	case time.Duration:
+		return Duration(x)
+	case Bytes:
+		return ByteCount(int64(x))
+	case float64:
+		return fmt.Sprintf("%.3g", x)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// Bytes marks an int64 as a byte count for formatting.
+type Bytes int64
+
+// Duration renders a duration with three significant digits.
+func Duration(d time.Duration) string {
+	switch {
+	case d <= 0:
+		return "0"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// ByteCount renders a byte count with binary units.
+func ByteCount(n int64) string {
+	switch {
+	case n < 0:
+		return "-" + ByteCount(-n)
+	case n < 1024:
+		return fmt.Sprintf("%dB", n)
+	case n < 1024*1024:
+		return fmt.Sprintf("%.1fKB", float64(n)/1024)
+	case n < 1024*1024*1024:
+		return fmt.Sprintf("%.2fMB", float64(n)/(1024*1024))
+	default:
+		return fmt.Sprintf("%.2fGB", float64(n)/(1024*1024*1024))
+	}
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+		fmt.Fprintf(w, "%s\n", strings.Repeat("=", len(t.Title)))
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	printRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.rows {
+		printRow(row)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Ratio formats a/b as "N.Nx" (or "-" when b is zero).
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", a/b)
+}

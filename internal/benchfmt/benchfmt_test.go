@@ -1,0 +1,61 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		0:                       "0",
+		500 * time.Nanosecond:   "500ns",
+		2500 * time.Nanosecond:  "2.5µs",
+		3 * time.Millisecond:    "3.00ms",
+		1500 * time.Millisecond: "1.50s",
+	}
+	for d, want := range cases {
+		if got := Duration(d); got != want {
+			t.Errorf("Duration(%v)=%q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestByteCount(t *testing.T) {
+	cases := map[int64]string{
+		0:       "0B",
+		512:     "512B",
+		2048:    "2.0KB",
+		3 << 20: "3.00MB",
+		5 << 30: "5.00GB",
+		-2048:   "-2.0KB",
+	}
+	for n, want := range cases {
+		if got := ByteCount(n); got != want {
+			t.Errorf("ByteCount(%d)=%q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Figure X", "strategy", "disk", "time")
+	tab.AddRow("BlackBox", Bytes(1024), 2*time.Millisecond)
+	tab.AddRow("SubZero", Bytes(10*1024*1024), 150*time.Microsecond)
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"Figure X", "strategy", "BlackBox", "1.0KB", "10.00MB", "2.00ms", "150.0µs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(10, 2) != "5.0x" {
+		t.Fatalf("Ratio=%s", Ratio(10, 2))
+	}
+	if Ratio(1, 0) != "-" {
+		t.Fatal("zero denominator")
+	}
+}

@@ -1,0 +1,210 @@
+// Package bitmap implements dense boolean arrays over an array shape.
+//
+// The SubZero query executor (paper §VI-C) stores the intermediate result of
+// every lineage-query step "in an in-memory boolean array with the same
+// dimensions as the input (backward query) or output (forward query) array".
+// The bitmap de-duplicates the large fan-in/fan-out result sets produced by
+// region lineage, detects saturation so an operator can be closed early, and
+// feeds the entire-array optimization.
+package bitmap
+
+import (
+	"fmt"
+	"math/bits"
+
+	"subzero/internal/grid"
+)
+
+// Bitmap is a fixed-size set of cell indices over a shape.
+type Bitmap struct {
+	space *grid.Space
+	words []uint64
+	count uint64
+}
+
+// New creates an empty bitmap over the given space.
+func New(space *grid.Space) *Bitmap {
+	n := (space.Size() + 63) / 64
+	return &Bitmap{space: space, words: make([]uint64, n)}
+}
+
+// Space returns the space the bitmap covers.
+func (b *Bitmap) Space() *grid.Space { return b.space }
+
+// Size returns the number of addressable cells.
+func (b *Bitmap) Size() uint64 { return b.space.Size() }
+
+// Count returns the number of set cells.
+func (b *Bitmap) Count() uint64 { return b.count }
+
+// Full reports whether every cell is set.
+func (b *Bitmap) Full() bool { return b.count == b.space.Size() }
+
+// Empty reports whether no cell is set.
+func (b *Bitmap) Empty() bool { return b.count == 0 }
+
+// Set marks a cell, returning true if it was newly set. Out-of-range
+// indices are ignored and return false: region lineage produced by UDFs may
+// legitimately reference a superset of the array (the paper permits
+// supersets of exact lineage), so the executor clips rather than fails.
+func (b *Bitmap) Set(idx uint64) bool {
+	if idx >= b.space.Size() {
+		return false
+	}
+	w, m := idx/64, uint64(1)<<(idx%64)
+	if b.words[w]&m != 0 {
+		return false
+	}
+	b.words[w] |= m
+	b.count++
+	return true
+}
+
+// SetAll marks every cell in the bitmap (the entire-array optimization).
+func (b *Bitmap) SetAll() {
+	size := b.space.Size()
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	if rem := size % 64; rem != 0 {
+		b.words[len(b.words)-1] = (uint64(1) << rem) - 1
+	}
+	b.count = size
+}
+
+// Get reports whether a cell is set. Out-of-range indices return false.
+func (b *Bitmap) Get(idx uint64) bool {
+	if idx >= b.space.Size() {
+		return false
+	}
+	return b.words[idx/64]&(uint64(1)<<(idx%64)) != 0
+}
+
+// SetCells marks every index in cells, returning the number newly set.
+func (b *Bitmap) SetCells(cells []uint64) uint64 {
+	var added uint64
+	for _, idx := range cells {
+		if b.Set(idx) {
+			added++
+		}
+	}
+	return added
+}
+
+// SetRect marks every cell inside the rectangle (clipped to the shape),
+// returning the number newly set.
+func (b *Bitmap) SetRect(r grid.Rect) uint64 {
+	clipped, ok := r.Clip(b.space.Shape())
+	if !ok {
+		return 0
+	}
+	var added uint64
+	cur := clipped.Lo.Clone()
+	for {
+		if b.Set(b.space.Ravel(cur)) {
+			added++
+		}
+		d := len(cur) - 1
+		for d >= 0 {
+			cur[d]++
+			if cur[d] <= clipped.Hi[d] {
+				break
+			}
+			cur[d] = clipped.Lo[d]
+			d--
+		}
+		if d < 0 {
+			return added
+		}
+	}
+}
+
+// Or merges another bitmap over the same space into b.
+func (b *Bitmap) Or(o *Bitmap) error {
+	if !b.space.Shape().Equal(o.space.Shape()) {
+		return fmt.Errorf("bitmap: OR of mismatched shapes %v and %v", b.space.Shape(), o.space.Shape())
+	}
+	var count uint64
+	for i := range b.words {
+		b.words[i] |= o.words[i]
+		count += uint64(bits.OnesCount64(b.words[i]))
+	}
+	b.count = count
+	return nil
+}
+
+// IntersectsRect reports whether any set cell lies inside the rectangle.
+func (b *Bitmap) IntersectsRect(r grid.Rect) bool {
+	clipped, ok := r.Clip(b.space.Shape())
+	if !ok {
+		return false
+	}
+	cur := clipped.Lo.Clone()
+	for {
+		if b.Get(b.space.Ravel(cur)) {
+			return true
+		}
+		d := len(cur) - 1
+		for d >= 0 {
+			cur[d]++
+			if cur[d] <= clipped.Hi[d] {
+				break
+			}
+			cur[d] = clipped.Lo[d]
+			d--
+		}
+		if d < 0 {
+			return false
+		}
+	}
+}
+
+// Iterate calls fn with each set index in ascending order until fn returns
+// false.
+func (b *Bitmap) Iterate(fn func(idx uint64) bool) {
+	for w, word := range b.words {
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			if !fn(uint64(w)*64 + uint64(bit)) {
+				return
+			}
+			word &= word - 1
+		}
+	}
+}
+
+// Cells appends all set indices to dst in ascending order and returns the
+// extended slice.
+func (b *Bitmap) Cells(dst []uint64) []uint64 {
+	b.Iterate(func(idx uint64) bool {
+		dst = append(dst, idx)
+		return true
+	})
+	return dst
+}
+
+// Clear resets the bitmap to empty.
+func (b *Bitmap) Clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+	b.count = 0
+}
+
+// Clone returns an independent copy.
+func (b *Bitmap) Clone() *Bitmap {
+	c := &Bitmap{space: b.space, words: make([]uint64, len(b.words)), count: b.count}
+	copy(c.words, b.words)
+	return c
+}
+
+// FromCells builds a bitmap over space with the given cells set.
+func FromCells(space *grid.Space, cells []uint64) *Bitmap {
+	b := New(space)
+	b.SetCells(cells)
+	return b
+}
+
+// MemoryBytes returns the approximate heap footprint, used by the query
+// executor's accounting.
+func (b *Bitmap) MemoryBytes() uint64 { return uint64(len(b.words)) * 8 }

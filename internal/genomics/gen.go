@@ -1,0 +1,124 @@
+// Package genomics implements the paper's genomics benchmark (§II-B,
+// §VIII-B): a medulloblastoma-relapse prediction workflow of 10 built-in
+// mapping operators and 4 payload UDFs, driven from a patient-feature
+// matrix, with the benchmark's query workload and Table-II strategy
+// configurations.
+//
+// The original benchmark used a 56×100 matrix (96 patients, 55 health and
+// genetic features) from the Broad Institute, replicated 100× because
+// "future datasets are expected to come from a larger group of patients".
+// The generator synthesizes an equivalent matrix: continuous expression
+// features, binary abnormality flags, and a relapse-label row correlated
+// with a subset of features, with a fraction of patients unlabeled. As in
+// the paper the matrix is then scaled by replicating patients.
+package genomics
+
+import (
+	"math/rand"
+
+	"subzero/internal/array"
+	"subzero/internal/grid"
+)
+
+// Matrix layout constants: rows are features, columns are patients
+// (56×100 at scale 1).
+const (
+	NumFeatures  = 55 // feature rows 0..54
+	LabelRow     = 55 // final row holds the relapse label
+	NumRows      = 56
+	BasePatients = 100
+
+	// MissingValue marks unlabeled patients (and missing test features);
+	// it is chosen so it remains separable after normalization.
+	MissingValue = -50.0
+)
+
+// GenConfig controls the generator.
+type GenConfig struct {
+	Scale        int // patient-replication factor (paper uses 100)
+	TestFraction float64
+	MissingFrac  float64
+	Seed         int64
+}
+
+// DefaultGenConfig matches the paper's 100× scaled dataset.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{Scale: 100, TestFraction: 0.5, MissingFrac: 0.08, Seed: 7}
+}
+
+// Scaled returns the configuration at a different replication factor.
+func (c GenConfig) Scaled(scale int) GenConfig {
+	if scale < 1 {
+		scale = 1
+	}
+	c.Scale = scale
+	return c
+}
+
+// Data is a generated benchmark dataset.
+type Data struct {
+	Train *array.Array // NumRows × (BasePatients*Scale)
+	Test  *array.Array // NumRows × (BasePatients*Scale*TestFraction)
+}
+
+// Generate synthesizes the training and test matrices.
+func Generate(cfg GenConfig) (*Data, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	trainCols := BasePatients * cfg.Scale
+	testCols := int(float64(trainCols) * cfg.TestFraction)
+	if testCols < 4 {
+		testCols = 4
+	}
+	train, err := array.New("train", grid.Shape{NumRows, trainCols})
+	if err != nil {
+		return nil, err
+	}
+	test, err := array.New("test", grid.Shape{NumRows, testCols})
+	if err != nil {
+		return nil, err
+	}
+	fillMatrix(train, rng, cfg, true)
+	fillMatrix(test, rng, cfg, false)
+	return &Data{Train: train, Test: test}, nil
+}
+
+// fillMatrix populates one matrix. Ten "signal" features correlate with
+// the relapse label; labeled=false marks a test matrix, whose label row is
+// entirely missing and whose feature row 0 is missing for a fraction of
+// patients (driving UDF G's selection).
+func fillMatrix(m *array.Array, rng *rand.Rand, cfg GenConfig, labeled bool) {
+	cols := m.Shape()[1]
+	for p := 0; p < cols; p++ {
+		relapse := rng.Float64() < 0.4
+		for f := 0; f < NumFeatures; f++ {
+			var v float64
+			switch {
+			case f < 10: // signal expression features
+				v = rng.Float64()
+				if relapse {
+					v += 1.0
+				}
+			case f < 40: // neutral expression features
+				v = rng.Float64() * 2
+			default: // binary abnormality flags
+				if rng.Float64() < 0.15 {
+					v = 1
+				}
+			}
+			m.Set2(f, p, v)
+		}
+		switch {
+		case !labeled:
+			m.Set2(LabelRow, p, MissingValue)
+			if rng.Float64() < cfg.MissingFrac {
+				m.Set2(0, p, MissingValue)
+			}
+		case rng.Float64() < cfg.MissingFrac:
+			m.Set2(LabelRow, p, MissingValue)
+		case relapse:
+			m.Set2(LabelRow, p, 1)
+		default:
+			m.Set2(LabelRow, p, 0)
+		}
+	}
+}

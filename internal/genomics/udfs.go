@@ -1,0 +1,367 @@
+package genomics
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"subzero/internal/array"
+	"subzero/internal/grid"
+	"subzero/internal/lineage"
+	"subzero/internal/workflow"
+)
+
+// udfModes: the genomics UDFs are payload operators (paper Figure 2:
+// "the 4 UDFs are all payload operators"); Full support enables tracing.
+func udfModes() []lineage.Mode { return []lineage.Mode{lineage.Full, lineage.Pay} }
+
+// selectedSentinel marks de-selected rows in Extract output.
+const selectedSentinel = MissingValue
+
+// Extract is UDF E/G: it filters patient rows of a normalized
+// patient×column matrix, keeping rows whose selector column exceeds a
+// threshold (labeled patients for E, complete-data patients for G).
+// Selected rows pass through; de-selected rows are zeroed with the
+// selector cell set to the missing sentinel. Each output cell depends on
+// its own input cell plus the row's selector cell; payload lineage stores
+// one 5-byte payload per row (paper §II-B: E and G "extract a subset of
+// the input arrays").
+type Extract struct {
+	workflow.Meta
+	SelCol    int
+	Threshold float64
+}
+
+// NewExtract builds an extraction UDF.
+func NewExtract(name string, selCol int, threshold float64) *Extract {
+	return &Extract{
+		Meta:      workflow.Meta{OpName: name, NIn: 1, Modes: udfModes()},
+		SelCol:    selCol,
+		Threshold: threshold,
+	}
+}
+
+// OutShape implements Operator.
+func (e *Extract) OutShape(in []grid.Shape) (grid.Shape, error) {
+	if len(in) != 1 || len(in[0]) != 2 {
+		return nil, fmt.Errorf("genomics: %s requires one 2-D input", e.OpName)
+	}
+	if e.SelCol < 0 || e.SelCol >= in[0][1] {
+		return nil, fmt.Errorf("genomics: %s selector column %d outside %v", e.OpName, e.SelCol, in[0])
+	}
+	return in[0].Clone(), nil
+}
+
+// Run implements Operator.
+func (e *Extract) Run(rc *workflow.RunCtx, ins []*array.Array) (*array.Array, error) {
+	in := ins[0]
+	rows, cols := in.Shape()[0], in.Shape()[1]
+	out, err := array.New(e.OpName, in.Shape())
+	if err != nil {
+		return nil, err
+	}
+	sp := in.Space()
+	rowCells := make([]uint64, cols)
+	pairOut := make([]uint64, 1)
+	pairIn := make([]uint64, 2)
+	for p := 0; p < rows; p++ {
+		selCell := sp.Ravel(grid.Coord{p, e.SelCol})
+		selected := in.Get(selCell) > e.Threshold
+		for f := 0; f < cols; f++ {
+			idx := sp.Ravel(grid.Coord{p, f})
+			rowCells[f] = idx
+			if selected {
+				out.Set(idx, in.Get(idx))
+			} else if f == e.SelCol {
+				out.Set(idx, selectedSentinel)
+			}
+			if rc.NeedsPairs() {
+				pairOut[0] = idx
+				if selected {
+					pairIn[0], pairIn[1] = idx, selCell
+					if err := rc.LWrite(pairOut, pairIn); err != nil {
+						return nil, err
+					}
+				} else {
+					pairIn[0] = selCell
+					if err := rc.LWrite(pairOut, pairIn[:1]); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		if rc.NeedsPayload() {
+			if err := rc.LWritePayload(rowCells, encodeExtractPayload(selected, e.SelCol)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func encodeExtractPayload(selected bool, selCol int) []byte {
+	buf := make([]byte, 5)
+	if selected {
+		buf[0] = 1
+	}
+	binary.LittleEndian.PutUint32(buf[1:], uint32(selCol))
+	return buf
+}
+
+// MapP implements PayloadMapper: per output cell, its own input cell (for
+// selected rows) plus the row's selector cell.
+func (e *Extract) MapP(mc *workflow.MapCtx, out uint64, payload []byte, _ int, dst []uint64) []uint64 {
+	selCol := int(binary.LittleEndian.Uint32(payload[1:]))
+	c := mc.OutCoord(out)
+	selCell := mc.InSpaces[0].Ravel(grid.Coord{c[0], selCol})
+	if payload[0] == 1 {
+		dst = append(dst, out)
+	}
+	if out != selCell || payload[0] != 1 {
+		dst = append(dst, selCell)
+	}
+	return dst
+}
+
+// Model is UDF F: it computes a per-column relapse-contribution model from
+// the extracted training matrix (patients × columns, the last column
+// holding labels). model[f] = mean(f | relapse) − mean(f | no relapse)
+// over the selected patients — the Bayesian-model stand-in (paper §II-B:
+// "The model computes how much each feature value contributes to the
+// likelihood of patient relapse"). Each model cell depends on its column
+// restricted to selected patients plus the label column; the payload is a
+// bitmap of selected patients.
+type Model struct {
+	workflow.Meta
+	LabelCol int
+}
+
+// NewModel builds the modeling UDF.
+func NewModel(labelCol int) *Model {
+	return &Model{Meta: workflow.Meta{OpName: "model", NIn: 1, Modes: udfModes()}, LabelCol: labelCol}
+}
+
+// OutShape implements Operator: 1×columns.
+func (m *Model) OutShape(in []grid.Shape) (grid.Shape, error) {
+	if len(in) != 1 || len(in[0]) != 2 {
+		return nil, fmt.Errorf("genomics: model requires one 2-D input")
+	}
+	return grid.Shape{1, in[0][1]}, nil
+}
+
+// Run implements Operator.
+func (m *Model) Run(rc *workflow.RunCtx, ins []*array.Array) (*array.Array, error) {
+	in := ins[0]
+	rows, cols := in.Shape()[0], in.Shape()[1]
+	out, err := array.New(m.OpName, grid.Shape{1, cols})
+	if err != nil {
+		return nil, err
+	}
+	sp := in.Space()
+
+	// Selected patients carry a non-sentinel label; relapse = label above
+	// the mean selected label (self-calibrating against normalization).
+	var selected []int
+	labelSum := 0.0
+	for p := 0; p < rows; p++ {
+		l := in.Get2(p, m.LabelCol)
+		if l > selectedSentinel/2 {
+			selected = append(selected, p)
+			labelSum += l
+		}
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("genomics: model found no labeled patients")
+	}
+	labelMean := labelSum / float64(len(selected))
+	var relapse, healthy []int
+	for _, p := range selected {
+		if in.Get2(p, m.LabelCol) > labelMean {
+			relapse = append(relapse, p)
+		} else {
+			healthy = append(healthy, p)
+		}
+	}
+	for f := 0; f < cols; f++ {
+		out.Set2(0, f, classMean(in, relapse, f)-classMean(in, healthy, f))
+	}
+
+	if rc.NeedsPairs() || rc.NeedsPayload() {
+		payload := encodeModelPayload(m.LabelCol, selected, rows)
+		var insCells []uint64
+		pairOut := make([]uint64, 1)
+		for f := 0; f < cols; f++ {
+			pairOut[0] = out.Space().Ravel(grid.Coord{0, f})
+			if rc.NeedsPairs() {
+				insCells = insCells[:0]
+				for _, p := range selected {
+					insCells = append(insCells, sp.Ravel(grid.Coord{p, f}))
+					if f != m.LabelCol {
+						insCells = append(insCells, sp.Ravel(grid.Coord{p, m.LabelCol}))
+					}
+				}
+				if err := rc.LWrite(pairOut, insCells); err != nil {
+					return nil, err
+				}
+			}
+			if rc.NeedsPayload() {
+				if err := rc.LWritePayload(pairOut, payload); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func classMean(in *array.Array, patients []int, col int) float64 {
+	if len(patients) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range patients {
+		sum += in.Get2(p, col)
+	}
+	return sum / float64(len(patients))
+}
+
+func encodeModelPayload(labelCol int, selected []int, rows int) []byte {
+	buf := make([]byte, 4+(rows+7)/8)
+	binary.LittleEndian.PutUint32(buf, uint32(labelCol))
+	for _, p := range selected {
+		buf[4+p/8] |= 1 << (p % 8)
+	}
+	return buf
+}
+
+// MapP implements PayloadMapper: expand the selected-patient bitmap into
+// this column's cells plus the label column's cells.
+func (m *Model) MapP(mc *workflow.MapCtx, out uint64, payload []byte, _ int, dst []uint64) []uint64 {
+	labelCol := int(binary.LittleEndian.Uint32(payload))
+	f := mc.OutCoord(out)[1]
+	sp := mc.InSpaces[0]
+	rows := sp.Shape()[0]
+	for p := 0; p < rows; p++ {
+		if payload[4+p/8]&(1<<(p%8)) == 0 {
+			continue
+		}
+		dst = append(dst, sp.Ravel(grid.Coord{p, f}))
+		if f != labelCol {
+			dst = append(dst, sp.Ravel(grid.Coord{p, labelCol}))
+		}
+	}
+	return dst
+}
+
+// Predict is UDF H: it scores each test patient with the model, using
+// only the significant model columns (|weight| above a threshold,
+// excluding the label column). Each prediction depends on the patient's
+// significant feature cells (input 0), the patient's selector cell, and
+// the significant model cells (input 1); the payload is the list of
+// significant columns.
+type Predict struct {
+	workflow.Meta
+	LabelCol  int
+	SelCol    int
+	Threshold float64
+}
+
+// NewPredict builds the prediction UDF.
+func NewPredict(labelCol, selCol int, threshold float64) *Predict {
+	return &Predict{
+		Meta:     workflow.Meta{OpName: "predict", NIn: 2, Modes: udfModes()},
+		LabelCol: labelCol, SelCol: selCol, Threshold: threshold,
+	}
+}
+
+// OutShape implements Operator: one score per test patient.
+func (h *Predict) OutShape(in []grid.Shape) (grid.Shape, error) {
+	if len(in) != 2 || len(in[0]) != 2 || len(in[1]) != 2 {
+		return nil, fmt.Errorf("genomics: predict requires two 2-D inputs")
+	}
+	if in[1][0] != 1 || in[1][1] != in[0][1] {
+		return nil, fmt.Errorf("genomics: model shape %v does not match features %v", in[1], in[0])
+	}
+	return grid.Shape{in[0][0], 1}, nil
+}
+
+// Run implements Operator.
+func (h *Predict) Run(rc *workflow.RunCtx, ins []*array.Array) (*array.Array, error) {
+	feats, model := ins[0], ins[1]
+	rows, cols := feats.Shape()[0], feats.Shape()[1]
+	out, err := array.New(h.OpName, grid.Shape{rows, 1})
+	if err != nil {
+		return nil, err
+	}
+	var sig []int
+	for f := 0; f < cols; f++ {
+		if f != h.LabelCol && math.Abs(model.Get2(0, f)) > h.Threshold {
+			sig = append(sig, f)
+		}
+	}
+	payload := encodePredictPayload(h.SelCol, sig)
+	sp := feats.Space()
+	pairOut := make([]uint64, 1)
+	var in0, in1 []uint64
+	for p := 0; p < rows; p++ {
+		selected := feats.Get2(p, h.SelCol) > selectedSentinel/2
+		score := 0.0
+		if selected {
+			for _, f := range sig {
+				score += model.Get2(0, f) * feats.Get2(p, f)
+			}
+		}
+		out.Set2(p, 0, score)
+		pairOut[0] = out.Space().Ravel(grid.Coord{p, 0})
+		if rc.NeedsPairs() {
+			in0 = in0[:0]
+			in1 = in1[:0]
+			in0 = append(in0, sp.Ravel(grid.Coord{p, h.SelCol}))
+			for _, f := range sig {
+				in0 = append(in0, sp.Ravel(grid.Coord{p, f}))
+				in1 = append(in1, model.Space().Ravel(grid.Coord{0, f}))
+			}
+			if err := rc.LWrite(pairOut, in0, in1); err != nil {
+				return nil, err
+			}
+		}
+		if rc.NeedsPayload() {
+			if err := rc.LWritePayload(pairOut, payload); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func encodePredictPayload(selCol int, sig []int) []byte {
+	buf := make([]byte, 4+2+2*len(sig))
+	binary.LittleEndian.PutUint32(buf, uint32(selCol))
+	binary.LittleEndian.PutUint16(buf[4:], uint16(len(sig)))
+	for i, f := range sig {
+		binary.LittleEndian.PutUint16(buf[6+2*i:], uint16(f))
+	}
+	return buf
+}
+
+// MapP implements PayloadMapper for both inputs: significant feature
+// cells of the patient (plus its selector cell) in input 0, significant
+// model cells in input 1.
+func (h *Predict) MapP(mc *workflow.MapCtx, out uint64, payload []byte, inputIdx int, dst []uint64) []uint64 {
+	selCol := int(binary.LittleEndian.Uint32(payload))
+	n := int(binary.LittleEndian.Uint16(payload[4:]))
+	p := mc.OutCoord(out)[0]
+	sp := mc.InSpaces[inputIdx]
+	if inputIdx == 0 {
+		dst = append(dst, sp.Ravel(grid.Coord{p, selCol}))
+	}
+	for i := 0; i < n; i++ {
+		f := int(binary.LittleEndian.Uint16(payload[6+2*i:]))
+		if inputIdx == 0 {
+			dst = append(dst, sp.Ravel(grid.Coord{p, f}))
+		} else {
+			dst = append(dst, sp.Ravel(grid.Coord{0, f}))
+		}
+	}
+	return dst
+}

@@ -1,0 +1,87 @@
+package genomics
+
+import (
+	"fmt"
+	"math"
+
+	"subzero/internal/ops"
+	"subzero/internal/workflow"
+)
+
+// UDF node identifiers (paper Figure 2's E-H).
+const (
+	NodeExtractTrain = "E-extract-train"
+	NodeModel        = "F-model"
+	NodeExtractTest  = "G-extract-test"
+	NodePredict      = "H-predict"
+)
+
+// UDFIDs lists the four UDF nodes.
+var UDFIDs = []string{NodeExtractTrain, NodeModel, NodeExtractTest, NodePredict}
+
+// selectionThreshold separates normalized valid values from the missing
+// sentinel after centering and scaling.
+const selectionThreshold = -1.0
+
+// significanceThreshold is Predict's minimum |model weight|.
+const significanceThreshold = 0.15
+
+// BuiltinIDs returns the 10 built-in mapping-operator node ids.
+func BuiltinIDs() []string {
+	return []string{
+		"tr-t", "tr-mean", "tr-center", "tr-std", "tr-norm",
+		"te-t", "te-mean", "te-center", "te-std", "te-norm",
+	}
+}
+
+// NewSpec builds the genomics workflow of Figure 2: a normalization
+// pipeline per matrix (transpose, per-column mean, center, per-column
+// deviation, scale — 5 mapping built-ins each), then the four payload
+// UDFs: E extracts labeled training patients, F computes the relapse
+// model, G extracts complete test patients, and H predicts relapse.
+func NewSpec() (*workflow.Spec, error) {
+	spec := workflow.NewSpec("genomics")
+	addNorm := func(prefix, source string) string {
+		id := func(n string) string { return prefix + "-" + n }
+		spec.Add(id("t"), ops.NewTranspose(), workflow.FromExternal(source))
+		spec.Add(id("mean"), ops.NewColMean(), workflow.FromNode(id("t")))
+		spec.Add(id("center"), ops.NewColCenter("center", func(x, m float64) float64 { return x - m }),
+			workflow.FromNode(id("t")), workflow.FromNode(id("mean")))
+		spec.Add(id("std"), ops.NewColReduce("col-std", colStd), workflow.FromNode(id("center")))
+		spec.Add(id("norm"), ops.NewColCenter("scale", func(x, s float64) float64 { return x / (1 + s) }),
+			workflow.FromNode(id("center")), workflow.FromNode(id("std")))
+		return id("norm")
+	}
+	trNorm := addNorm("tr", "train")
+	teNorm := addNorm("te", "test")
+
+	spec.Add(NodeExtractTrain, NewExtract("extract-train", LabelRow, selectionThreshold),
+		workflow.FromNode(trNorm))
+	spec.Add(NodeModel, NewModel(LabelRow), workflow.FromNode(NodeExtractTrain))
+	spec.Add(NodeExtractTest, NewExtract("extract-test", 0, selectionThreshold),
+		workflow.FromNode(teNorm))
+	spec.Add(NodePredict, NewPredict(LabelRow, 0, significanceThreshold),
+		workflow.FromNode(NodeExtractTest), workflow.FromNode(NodeModel))
+
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("genomics: %w", err)
+	}
+	if got := len(spec.Nodes()); got != 14 {
+		return nil, fmt.Errorf("genomics: workflow has %d nodes, want 14 (10 built-ins + 4 UDFs)", got)
+	}
+	return spec, nil
+}
+
+func colStd(col []float64) float64 {
+	n := float64(len(col))
+	mean := 0.0
+	for _, v := range col {
+		mean += v
+	}
+	mean /= n
+	ss := 0.0
+	for _, v := range col {
+		ss += (v - mean) * (v - mean)
+	}
+	return math.Sqrt(ss / n)
+}

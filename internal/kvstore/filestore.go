@@ -1,0 +1,290 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// FileStore is a log-structured Store: records are appended to a single
+// file through a write buffer, and an in-memory index maps each key to the
+// offset of its latest record. Overwritten values leave garbage in the log;
+// lineage workloads write each key once (or merge a handful of times), so
+// compaction is unnecessary and is deliberately omitted.
+//
+// Record layout (all integers little-endian / uvarint):
+//
+//	crc32(4) | klen uvarint | vlen uvarint | key | val
+//
+// The CRC covers the varint lengths, key, and value. On open the file is
+// scanned to rebuild the index; the first torn or corrupt record ends the
+// scan and the tail is truncated, matching the paper's "lineage is a
+// recoverable cache" stance.
+type FileStore struct {
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	index  map[string]recordRef
+	offset int64 // next append position
+	dirty  bool
+	closed bool
+	path   string
+}
+
+type recordRef struct {
+	off  int64
+	klen int
+	vlen int
+}
+
+const (
+	crcSize       = 4
+	maxKeyLen     = 1 << 20
+	maxValLen     = 1 << 28
+	writeBufBytes = 1 << 18
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// OpenFile opens (or creates) a FileStore at path, rebuilding the key
+// index from the log and truncating any torn tail.
+func OpenFile(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open %s: %w", path, err)
+	}
+	s := &FileStore{
+		f:     f,
+		index: make(map[string]recordRef),
+		path:  path,
+	}
+	if err := s.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(s.offset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: seek %s: %w", path, err)
+	}
+	s.w = bufio.NewWriterSize(f, writeBufBytes)
+	return s, nil
+}
+
+// recover scans the log, rebuilding the index. It stops at the first
+// invalid record and truncates the file there.
+func (s *FileStore) recover() error {
+	info, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("kvstore: stat: %w", err)
+	}
+	size := info.Size()
+	r := bufio.NewReaderSize(io.NewSectionReader(s.f, 0, size), writeBufBytes)
+	var off int64
+	hdr := make([]byte, crcSize)
+	var body []byte
+	for off < size {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			break // torn tail
+		}
+		wantCRC := binary.LittleEndian.Uint32(hdr)
+		klen, err1 := binary.ReadUvarint(r)
+		if err1 != nil || klen > maxKeyLen {
+			break
+		}
+		vlen, err2 := binary.ReadUvarint(r)
+		if err2 != nil || vlen > maxValLen {
+			break
+		}
+		framing := uvarintLen(klen) + uvarintLen(vlen)
+		need := framing + int(klen) + int(vlen)
+		if cap(body) < need {
+			body = make([]byte, need)
+		}
+		body = body[:need]
+		n := binary.PutUvarint(body, klen)
+		n += binary.PutUvarint(body[n:], vlen)
+		if _, err := io.ReadFull(r, body[n:]); err != nil {
+			break
+		}
+		if crc32.Checksum(body, crcTable) != wantCRC {
+			break
+		}
+		key := string(body[framing : framing+int(klen)])
+		s.index[key] = recordRef{off: off, klen: int(klen), vlen: int(vlen)}
+		off += int64(crcSize + need)
+	}
+	s.offset = off
+	if off < size {
+		if err := s.f.Truncate(off); err != nil {
+			return fmt.Errorf("kvstore: truncate torn tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// Put implements Store.
+func (s *FileStore) Put(key, val []byte) error {
+	if len(key) > maxKeyLen || len(val) > maxValLen {
+		return fmt.Errorf("kvstore: record too large (key %d, val %d)", len(key), len(val))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	framing := uvarintLen(uint64(len(key))) + uvarintLen(uint64(len(val)))
+	body := make([]byte, framing+len(key)+len(val))
+	n := binary.PutUvarint(body, uint64(len(key)))
+	n += binary.PutUvarint(body[n:], uint64(len(val)))
+	copy(body[n:], key)
+	copy(body[n+len(key):], val)
+	var hdr [crcSize]byte
+	binary.LittleEndian.PutUint32(hdr[:], crc32.Checksum(body, crcTable))
+	if _, err := s.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("kvstore: append: %w", err)
+	}
+	if _, err := s.w.Write(body); err != nil {
+		return fmt.Errorf("kvstore: append: %w", err)
+	}
+	s.index[string(key)] = recordRef{off: s.offset, klen: len(key), vlen: len(val)}
+	s.offset += int64(crcSize + len(body))
+	s.dirty = true
+	return nil
+}
+
+// Get implements Store. It flushes pending writes first so index offsets
+// are always readable.
+func (s *FileStore) Get(key []byte) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	ref, ok := s.index[string(key)]
+	if !ok {
+		return nil, false, nil
+	}
+	if err := s.flushLocked(); err != nil {
+		return nil, false, err
+	}
+	val, err := s.readValue(ref)
+	if err != nil {
+		return nil, false, err
+	}
+	return val, true, nil
+}
+
+func (s *FileStore) readValue(ref recordRef) ([]byte, error) {
+	framing := uvarintLen(uint64(ref.klen)) + uvarintLen(uint64(ref.vlen))
+	skip := int64(crcSize + framing + ref.klen)
+	val := make([]byte, ref.vlen)
+	if _, err := s.f.ReadAt(val, ref.off+skip); err != nil {
+		return nil, fmt.Errorf("kvstore: read record at %d: %w", ref.off, err)
+	}
+	return val, nil
+}
+
+// Scan implements Store. Records are visited in log order (oldest live
+// version of each key at its final offset).
+func (s *FileStore) Scan(fn func(key, val []byte) bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	// Sort refs by offset for sequential I/O.
+	type kv struct {
+		key string
+		ref recordRef
+	}
+	refs := make([]kv, 0, len(s.index))
+	for k, ref := range s.index {
+		refs = append(refs, kv{k, ref})
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].ref.off < refs[j].ref.off })
+	for _, e := range refs {
+		val, err := s.readValue(e.ref)
+		if err != nil {
+			return err
+		}
+		if !fn([]byte(e.key), val) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Len implements Store.
+func (s *FileStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// SizeBytes implements Store: the log file size including garbage, which
+// is what a real deployment pays for.
+func (s *FileStore) SizeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.offset
+}
+
+// Sync implements Store: it drains the write buffer. Like the paper's
+// BerkeleyDB configuration it does NOT fsync — lineage is a recoverable
+// cache and crash durability is explicitly out of scope.
+func (s *FileStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.flushLocked()
+}
+
+func (s *FileStore) flushLocked() error {
+	if !s.dirty {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("kvstore: flush: %w", err)
+	}
+	s.dirty = false
+	return nil
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	flushErr := s.flushLocked()
+	closeErr := s.f.Close()
+	s.closed = true
+	s.index = nil
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// Path returns the backing file path.
+func (s *FileStore) Path() string { return s.path }
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

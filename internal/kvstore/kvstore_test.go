@@ -1,0 +1,406 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+// storesUnderTest builds one of each Store implementation for a subtest.
+func storesUnderTest(t *testing.T) map[string]Store {
+	t.Helper()
+	fs, err := OpenFile(filepath.Join(t.TempDir(), "s.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	ms := NewMem()
+	t.Cleanup(func() { ms.Close() })
+	return map[string]Store{"file": fs, "mem": ms}
+}
+
+func TestPutGetOverwrite(t *testing.T) {
+	for name, s := range storesUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, ok, err := s.Get([]byte("missing")); err != nil || ok {
+				t.Fatal("missing key reported present")
+			}
+			if err := s.Put([]byte("k1"), []byte("v1")); err != nil {
+				t.Fatal(err)
+			}
+			v, ok, err := s.Get([]byte("k1"))
+			if err != nil || !ok || !bytes.Equal(v, []byte("v1")) {
+				t.Fatalf("Get=%q ok=%v err=%v", v, ok, err)
+			}
+			if err := s.Put([]byte("k1"), []byte("v2-longer")); err != nil {
+				t.Fatal(err)
+			}
+			v, ok, _ = s.Get([]byte("k1"))
+			if !ok || !bytes.Equal(v, []byte("v2-longer")) {
+				t.Fatalf("overwrite Get=%q", v)
+			}
+			if s.Len() != 1 {
+				t.Fatalf("Len=%d, want 1", s.Len())
+			}
+		})
+	}
+}
+
+func TestEmptyKeyAndValue(t *testing.T) {
+	for name, s := range storesUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Put([]byte{}, []byte{}); err != nil {
+				t.Fatal(err)
+			}
+			v, ok, err := s.Get([]byte{})
+			if err != nil || !ok || len(v) != 0 {
+				t.Fatalf("empty round trip: %q %v %v", v, ok, err)
+			}
+		})
+	}
+}
+
+func TestScanVisitsAllLiveRecords(t *testing.T) {
+	for name, s := range storesUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			want := map[string]string{}
+			for i := 0; i < 100; i++ {
+				k, v := fmt.Sprintf("key-%03d", i), fmt.Sprintf("val-%d", i*i)
+				want[k] = v
+				if err := s.Put([]byte(k), []byte(v)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Overwrite some: scan must see only latest values.
+			for i := 0; i < 10; i++ {
+				k := fmt.Sprintf("key-%03d", i)
+				want[k] = "new"
+				if err := s.Put([]byte(k), []byte("new")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := map[string]string{}
+			if err := s.Scan(func(k, v []byte) bool {
+				got[string(k)] = string(v)
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("scan saw %d records, want %d", len(got), len(want))
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("scan %s=%q, want %q", k, got[k], v)
+				}
+			}
+		})
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	for name, s := range storesUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 20; i++ {
+				_ = s.Put([]byte{byte(i)}, []byte{byte(i)})
+			}
+			n := 0
+			_ = s.Scan(func(k, v []byte) bool { n++; return n < 5 })
+			if n != 5 {
+				t.Fatalf("early stop visited %d", n)
+			}
+		})
+	}
+}
+
+func TestSizeBytesGrows(t *testing.T) {
+	for name, s := range storesUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			before := s.SizeBytes()
+			_ = s.Put([]byte("key"), bytes.Repeat([]byte{1}, 1000))
+			if s.SizeBytes() < before+1000 {
+				t.Fatalf("SizeBytes=%d did not grow by payload", s.SizeBytes())
+			}
+		})
+	}
+}
+
+func TestFileStorePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.log")
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 500 {
+		t.Fatalf("reopened Len=%d", re.Len())
+	}
+	v, ok, err := re.Get([]byte("k123"))
+	if err != nil || !ok || string(v) != "v123" {
+		t.Fatalf("reopened Get=%q ok=%v err=%v", v, ok, err)
+	}
+	// Store must remain appendable after reopen.
+	if err := re.Put([]byte("new"), []byte("rec")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ = re.Get([]byte("new"))
+	if !ok || string(v) != "rec" {
+		t.Fatal("append after reopen failed")
+	}
+}
+
+func TestFileStoreTornTailRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.log")
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		_ = s.Put([]byte(fmt.Sprintf("k%02d", i)), bytes.Repeat([]byte{byte(i)}, 50))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record in half.
+	info, _ := os.Stat(path)
+	if err := os.Truncate(path, info.Size()-20); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 99 {
+		t.Fatalf("after torn tail Len=%d, want 99", re.Len())
+	}
+	if _, ok, _ := re.Get([]byte("k98")); !ok {
+		t.Fatal("intact record lost")
+	}
+	if _, ok, _ := re.Get([]byte("k99")); ok {
+		t.Fatal("torn record resurrected")
+	}
+	// New writes land after the truncated tail and survive a reopen.
+	if err := re.Put([]byte("k99"), []byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if v, ok, _ := re2.Get([]byte("k99")); !ok || string(v) != "again" {
+		t.Fatal("rewrite after torn-tail recovery lost")
+	}
+}
+
+func TestFileStoreCorruptMiddleStopsScan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.log")
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		_ = s.Put([]byte{byte(i)}, bytes.Repeat([]byte{0x55}, 40))
+	}
+	_ = s.Close()
+	// Flip a byte in the middle of the file: recovery keeps the prefix.
+	data, _ := os.ReadFile(path)
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() >= 10 || re.Len() == 0 {
+		t.Fatalf("corrupt-middle Len=%d, want a proper non-empty prefix", re.Len())
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	fs, err := OpenFile(filepath.Join(t.TempDir(), "c.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fs.Close()
+	if err := fs.Put([]byte("k"), []byte("v")); err == nil {
+		t.Fatal("Put on closed store succeeded")
+	}
+	if _, _, err := fs.Get([]byte("k")); err == nil {
+		t.Fatal("Get on closed store succeeded")
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal("double Close should be a no-op")
+	}
+}
+
+func TestManagerFileAndMemory(t *testing.T) {
+	for _, root := range []string{"", t.TempDir()} {
+		name := "mem"
+		if root != "" {
+			name = "file"
+		}
+		t.Run(name, func(t *testing.T) {
+			m, err := NewManager(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+			a, err := m.Open("op-1/full:backward")
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := m.Open("op-2")
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, _ := m.Open("op-1/full:backward")
+			if again != a {
+				t.Fatal("Open not idempotent")
+			}
+			_ = a.Put([]byte("x"), []byte("1"))
+			_ = b.Put([]byte("y"), bytes.Repeat([]byte{2}, 100))
+			if got := m.Namespaces(); len(got) != 2 {
+				t.Fatalf("Namespaces=%v", got)
+			}
+			if m.TotalBytes() <= 0 {
+				t.Fatal("TotalBytes not accounted")
+			}
+			if err := m.SyncAll(); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Drop("op-2"); err != nil {
+				t.Fatal(err)
+			}
+			if got := m.Namespaces(); len(got) != 1 {
+				t.Fatalf("after Drop Namespaces=%v", got)
+			}
+		})
+	}
+}
+
+func TestManagerPersistenceAcrossReopen(t *testing.T) {
+	root := t.TempDir()
+	m, err := NewManager(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := m.Open("astro/crd")
+	_ = s.Put([]byte("pair-1"), []byte("lineage"))
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := NewManager(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	s2, _ := m2.Open("astro/crd")
+	v, ok, err := s2.Get([]byte("pair-1"))
+	if err != nil || !ok || string(v) != "lineage" {
+		t.Fatalf("persisted value lost: %q %v %v", v, ok, err)
+	}
+}
+
+// Property: a randomized batch of Put operations leaves both
+// implementations exactly matching a map reference.
+func TestQuickStoreVsReference(t *testing.T) {
+	dir := t.TempDir()
+	trial := 0
+	f := func(ops []struct {
+		K uint8
+		V []byte
+	}) bool {
+		trial++
+		fs, err := OpenFile(filepath.Join(dir, fmt.Sprintf("q%d.log", trial)))
+		if err != nil {
+			return false
+		}
+		defer fs.Close()
+		ms := NewMem()
+		ref := map[string][]byte{}
+		for _, op := range ops {
+			k := []byte{op.K % 32}
+			if fs.Put(k, op.V) != nil || ms.Put(k, op.V) != nil {
+				return false
+			}
+			ref[string(k)] = op.V
+		}
+		for k, want := range ref {
+			for _, s := range []Store{fs, ms} {
+				got, ok, err := s.Get([]byte(k))
+				if err != nil || !ok || !bytes.Equal(got, want) {
+					return false
+				}
+			}
+		}
+		return fs.Len() == len(ref) && ms.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFileStorePut(b *testing.B) {
+	s, err := OpenFile(filepath.Join(b.TempDir(), "bench.log"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := bytes.Repeat([]byte{0xAA}, 64)
+	var key [8]byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key[0], key[1], key[2], key[3] = byte(i), byte(i>>8), byte(i>>16), byte(i>>24)
+		if err := s.Put(key[:], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFileStoreGet(b *testing.B) {
+	s, err := OpenFile(filepath.Join(b.TempDir(), "bench.log"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := bytes.Repeat([]byte{0xAA}, 64)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([][]byte, 10000)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%d", i))
+		_ = s.Put(keys[i], val)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := s.Get(keys[rng.Intn(len(keys))]); err != nil || !ok {
+			b.Fatal("get failed")
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package kvstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Manager allocates one Store per namespace — the "operator specific
+// datastores" of the paper's architecture (Figure 3). A Manager rooted at a
+// directory creates FileStores under it; a Manager with an empty root hands
+// out MemStores, which tests and CPU-bound benchmarks use.
+type Manager struct {
+	mu     sync.Mutex
+	root   string
+	stores map[string]Store
+}
+
+// NewManager creates a manager. If root is non-empty the directory is
+// created and stores persist there as one log file per namespace;
+// otherwise stores are in-memory.
+func NewManager(root string) (*Manager, error) {
+	if root != "" {
+		if err := os.MkdirAll(root, 0o755); err != nil {
+			return nil, fmt.Errorf("kvstore: create root %s: %w", root, err)
+		}
+	}
+	return &Manager{root: root, stores: make(map[string]Store)}, nil
+}
+
+// InMemory reports whether the manager hands out memory-backed stores.
+func (m *Manager) InMemory() bool { return m.root == "" }
+
+// Open returns the store for a namespace, creating it on first use.
+// Namespaces are arbitrary strings; they are sanitized into file names.
+func (m *Manager) Open(namespace string) (Store, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.stores[namespace]; ok {
+		return s, nil
+	}
+	var s Store
+	if m.root == "" {
+		s = NewMem()
+	} else {
+		fs, err := OpenFile(filepath.Join(m.root, sanitize(namespace)+".log"))
+		if err != nil {
+			return nil, err
+		}
+		s = fs
+	}
+	m.stores[namespace] = s
+	return s, nil
+}
+
+// Drop closes and deletes a namespace's store and backing file.
+func (m *Manager) Drop(namespace string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.stores[namespace]
+	if !ok {
+		return nil
+	}
+	delete(m.stores, namespace)
+	closeErr := s.Close()
+	if m.root != "" {
+		if err := os.Remove(filepath.Join(m.root, sanitize(namespace)+".log")); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return closeErr
+}
+
+// Namespaces returns the open namespaces in sorted order.
+func (m *Manager) Namespaces() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.stores))
+	for ns := range m.stores {
+		out = append(out, ns)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalBytes sums the size of every open store — the disk-overhead number
+// reported by the benchmark figures.
+func (m *Manager) TotalBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for _, s := range m.stores {
+		total += s.SizeBytes()
+	}
+	return total
+}
+
+// SyncAll flushes every open store.
+func (m *Manager) SyncAll() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for ns, s := range m.stores {
+		if err := s.Sync(); err != nil {
+			return fmt.Errorf("kvstore: sync %s: %w", ns, err)
+		}
+	}
+	return nil
+}
+
+// Close closes every open store.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var firstErr error
+	for ns, s := range m.stores {
+		if err := s.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("kvstore: close %s: %w", ns, err)
+		}
+	}
+	m.stores = make(map[string]Store)
+	return firstErr
+}
+
+// sanitize maps a namespace to a safe file-name fragment.
+func sanitize(ns string) string {
+	var b strings.Builder
+	for _, r := range ns {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "store"
+	}
+	return b.String()
+}

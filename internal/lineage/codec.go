@@ -1,0 +1,169 @@
+package lineage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"subzero/internal/binenc"
+)
+
+// Physical key layout inside a store's hashtable:
+//
+//	'P' + uvarint(pairID)          region-pair record
+//	'K' + slot byte + 8-byte cell  per-cell entry (One encodings)
+//	'!' + name                     store metadata (next pair id, R-trees)
+//
+// For backward-optimized stores the only key slot is 0 (output cells); for
+// forward-optimized stores slot i holds the cells of input i.
+const (
+	keyPair = 'P'
+	keyCell = 'K'
+	keyMeta = '!'
+)
+
+func pairKey(id uint64) []byte {
+	buf := make([]byte, 1, 11)
+	buf[0] = keyPair
+	return binary.AppendUvarint(buf, id)
+}
+
+func cellKey(slot int, cell uint64) []byte {
+	buf := make([]byte, 10)
+	buf[0] = keyCell
+	buf[1] = byte(slot)
+	binary.BigEndian.PutUint64(buf[2:], cell)
+	return buf
+}
+
+func metaKey(name string) []byte { return append([]byte{keyMeta}, name...) }
+
+// record is a decoded region-pair record.
+type record struct {
+	outs    []uint64
+	ins     [][]uint64 // nil for payload records
+	payload []byte
+}
+
+const (
+	recFull    = 0 // flags value: explicit input cell sets follow
+	recPayload = 1 // flags value: payload blob follows
+)
+
+// encodeRecord serializes a region pair as a pair-record value.
+func encodeRecord(rp *RegionPair) []byte {
+	var buf []byte
+	if rp.IsPayload() {
+		buf = append(buf, recPayload)
+		buf = binenc.AppendCellSet(buf, rp.Out)
+		buf = binenc.AppendBytes(buf, rp.Payload)
+		return buf
+	}
+	buf = append(buf, recFull)
+	buf = binenc.AppendCellSet(buf, rp.Out)
+	buf = binary.AppendUvarint(buf, uint64(len(rp.Ins)))
+	for _, in := range rp.Ins {
+		buf = binenc.AppendCellSet(buf, in)
+	}
+	return buf
+}
+
+// decodeRecord parses a pair-record value.
+func decodeRecord(val []byte) (*record, error) {
+	if len(val) == 0 {
+		return nil, fmt.Errorf("lineage: empty pair record")
+	}
+	flags, rest := val[0], val[1:]
+	outs, n, err := binenc.DecodeCellSet(rest)
+	if err != nil {
+		return nil, fmt.Errorf("lineage: pair record outs: %w", err)
+	}
+	rest = rest[n:]
+	switch flags {
+	case recPayload:
+		payload, _, err := binenc.DecodeBytes(rest)
+		if err != nil {
+			return nil, fmt.Errorf("lineage: pair record payload: %w", err)
+		}
+		p := make([]byte, len(payload)) // non-nil even when empty
+		copy(p, payload)
+		return &record{outs: outs, payload: p}, nil
+	case recFull:
+		nIns, read := binary.Uvarint(rest)
+		if read <= 0 || nIns > 255 {
+			return nil, fmt.Errorf("lineage: pair record input count")
+		}
+		rest = rest[read:]
+		ins := make([][]uint64, nIns)
+		for i := range ins {
+			set, n, err := binenc.DecodeCellSet(rest)
+			if err != nil {
+				return nil, fmt.Errorf("lineage: pair record input %d: %w", i, err)
+			}
+			ins[i] = set
+			rest = rest[n:]
+		}
+		return &record{outs: outs, ins: ins}, nil
+	default:
+		return nil, fmt.Errorf("lineage: unknown pair record flags %d", flags)
+	}
+}
+
+// encodeIDList serializes the pair-id list stored in a One-encoding cell
+// entry (usually a single id).
+func encodeIDList(ids []uint64) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(ids)))
+	for _, id := range ids {
+		buf = binary.AppendUvarint(buf, id)
+	}
+	return buf
+}
+
+// decodeIDList parses a cell entry's pair-id list.
+func decodeIDList(val []byte) ([]uint64, error) {
+	n, read := binary.Uvarint(val)
+	if read <= 0 || n > uint64(len(val)) {
+		return nil, fmt.Errorf("lineage: cell entry id count")
+	}
+	ids := make([]uint64, 0, n)
+	off := read
+	for i := uint64(0); i < n; i++ {
+		id, read := binary.Uvarint(val[off:])
+		if read <= 0 {
+			return nil, fmt.Errorf("lineage: cell entry id %d truncated", i)
+		}
+		ids = append(ids, id)
+		off += read
+	}
+	return ids, nil
+}
+
+// encodePayloadList serializes the payload list stored in a PayOne cell
+// entry (paper Figure 4.4 stores "a duplicate of the payload in each hash
+// value"; a list handles the rare case of one output cell appearing in
+// multiple payload pairs).
+func encodePayloadList(payloads [][]byte) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(payloads)))
+	for _, p := range payloads {
+		buf = binenc.AppendBytes(buf, p)
+	}
+	return buf
+}
+
+// decodePayloadList parses a PayOne cell entry.
+func decodePayloadList(val []byte) ([][]byte, error) {
+	n, read := binary.Uvarint(val)
+	if read <= 0 || n > uint64(len(val))+1 {
+		return nil, fmt.Errorf("lineage: payload list count")
+	}
+	out := make([][]byte, 0, n)
+	off := read
+	for i := uint64(0); i < n; i++ {
+		p, consumed, err := binenc.DecodeBytes(val[off:])
+		if err != nil {
+			return nil, fmt.Errorf("lineage: payload %d: %w", i, err)
+		}
+		out = append(out, append([]byte(nil), p...))
+		off += consumed
+	}
+	return out, nil
+}

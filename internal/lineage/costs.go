@@ -1,0 +1,56 @@
+package lineage
+
+import "time"
+
+// Cost-model constants shared by the query-time optimizer (internal/query)
+// and the strategy optimizer (internal/opt) — the per-unit costs of the
+// primitive operations each access path performs. They are rough
+// calibrations for an in-process Go implementation: the optimizers only
+// need them to be ordinally correct (mapping call < hash lookup < R-tree
+// lookup < record scan < re-execution), with the workload-dependent
+// factors (fanin, fanout, pair counts, measured execution times) supplied
+// by the statistics collector.
+const (
+	// CostMapCall is one mapping-function invocation.
+	CostMapCall = 250 * time.Nanosecond
+	// CostCellSet is setting one result cell in the boolean array.
+	CostCellSet = 15 * time.Nanosecond
+	// CostLookupOne is one hash lookup plus value decode (One encodings).
+	CostLookupOne = 1200 * time.Nanosecond
+	// CostLookupMany is one R-tree point query (Many encodings).
+	CostLookupMany = 3500 * time.Nanosecond
+	// CostScanPair is scanning and decoding one pair record.
+	CostScanPair = 1500 * time.Nanosecond
+	// CostMapPCall is one payload-function (map_p) evaluation.
+	CostMapPCall = 400 * time.Nanosecond
+	// CostTraceJoin is joining one traced pair against the query during
+	// black-box re-execution — cheaper than CostScanPair because traced
+	// pairs stream through memory without store reads or decoding.
+	CostTraceJoin = 300 * time.Nanosecond
+
+	// CostDefaultReexec is assumed for re-execution when no run has been
+	// observed.
+	CostDefaultReexec = 50 * time.Millisecond
+)
+
+// Write-path and storage estimation constants, used by the strategy
+// optimizer to extrapolate un-profiled encodings from profiled volumes.
+const (
+	// EstBytesPerCell is the average encoded size of one cell index in a
+	// delta+varint cell set.
+	EstBytesPerCell = 2.3
+	// EstRecordOverhead is the fixed per-record cost (CRC, framing, key).
+	EstRecordOverhead = 18.0
+	// EstCellEntryBytes is one per-cell hash entry (One encodings):
+	// framing + 10-byte key + small id/payload list.
+	EstCellEntryBytes = 23.0
+	// EstTreeEntryBytes is one serialized R-tree item (Many encodings).
+	EstTreeEntryBytes = 22.0
+
+	// EstWritePerByte is the time to serialize+buffer one byte.
+	EstWritePerByte = 8 * time.Nanosecond
+	// EstWritePerPair is the fixed per-pair lwrite cost.
+	EstWritePerPair = 700 * time.Nanosecond
+	// EstTreeInsert is one R-tree insertion.
+	EstTreeInsert = 1800 * time.Nanosecond
+)

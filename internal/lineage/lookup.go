@@ -1,0 +1,378 @@
+package lineage
+
+import (
+	"fmt"
+
+	"subzero/internal/bitmap"
+	"subzero/internal/grid"
+	"subzero/internal/rtree"
+)
+
+// Backward resolves the backward lineage of the query cells q (a bitmap
+// over the operator's output space) into input inputIdx, OR-ing the result
+// into dst (a bitmap over that input's space).
+//
+// mapp is the operator's payload mapping function; it is required for Pay
+// and Comp stores and ignored otherwise. If covered is non-nil, every
+// query cell answered by a stored (payload) pair is marked in it — the
+// query executor uses this to apply the composite default mapping to the
+// remaining cells. abort, if non-nil, is polled periodically; returning
+// true cancels the lookup with ErrAborted (the query-time optimizer's
+// dynamic fallback hook).
+func (s *Store) Backward(q, dst *bitmap.Bitmap, inputIdx int, mapp PayloadFn, covered *bitmap.Bitmap, abort func() bool) error {
+	if inputIdx < 0 || inputIdx >= len(s.inSpaces) {
+		return fmt.Errorf("lineage: input index %d out of range (%d inputs)", inputIdx, len(s.inSpaces))
+	}
+	if (s.strat.Mode == Pay || s.strat.Mode == Comp) && mapp == nil {
+		return fmt.Errorf("lineage: %s store requires a payload mapping function", s.strat)
+	}
+	if err := s.flushPending(); err != nil {
+		return err
+	}
+	if s.strat.Orient == ForwardOpt {
+		// Mismatched orientation: fall back to a full scan of records.
+		return s.scanBackward(q, dst, inputIdx, abort)
+	}
+	switch {
+	case s.strat.Enc == One && s.strat.Mode == Full:
+		return s.backwardFullOne(q, dst, inputIdx, abort)
+	case s.strat.Enc == Many && s.strat.Mode == Full:
+		return s.backwardFullMany(q, dst, inputIdx, abort)
+	case s.strat.Enc == One:
+		return s.backwardPayOne(q, dst, inputIdx, mapp, covered, abort)
+	default:
+		return s.backwardPayMany(q, dst, inputIdx, mapp, covered, abort)
+	}
+}
+
+func (s *Store) backwardFullOne(q, dst *bitmap.Bitmap, inputIdx int, abort func() bool) error {
+	var err error
+	n := 0
+	q.Iterate(func(cell uint64) bool {
+		if n++; n%abortCheckInterval == 0 && aborted(abort) {
+			err = ErrAborted
+			return false
+		}
+		val, ok, gerr := s.kv.Get(cellKey(0, cell))
+		if gerr != nil {
+			err = gerr
+			return false
+		}
+		if !ok {
+			return true
+		}
+		ids, derr := decodeIDList(val)
+		if derr != nil {
+			err = derr
+			return false
+		}
+		for _, id := range ids {
+			rec, rerr := s.getRecord(id)
+			if rerr != nil {
+				err = rerr
+				return false
+			}
+			dst.SetCells(rec.ins[inputIdx])
+		}
+		return true
+	})
+	return err
+}
+
+// candidateIDs collects the distinct pair ids whose key-side bounding box
+// contains any query cell, via per-cell point queries on the slot's R-tree.
+func (s *Store) candidateIDs(q *bitmap.Bitmap, slot int, abort func() bool) (map[uint64]struct{}, error) {
+	ids := make(map[uint64]struct{})
+	tr := s.trees[slot]
+	space := s.slotSpace(slot)
+	coord := make(grid.Coord, space.Rank())
+	var err error
+	n := 0
+	q.Iterate(func(cell uint64) bool {
+		if n++; n%abortCheckInterval == 0 && aborted(abort) {
+			err = ErrAborted
+			return false
+		}
+		space.UnravelInto(cell, coord)
+		tr.SearchPoint(coord, func(it rtree.Item) bool {
+			ids[it.ID] = struct{}{}
+			return true
+		})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+func (s *Store) backwardFullMany(q, dst *bitmap.Bitmap, inputIdx int, abort func() bool) error {
+	ids, err := s.candidateIDs(q, 0, abort)
+	if err != nil {
+		return err
+	}
+	for id := range ids {
+		rec, err := s.getRecord(id)
+		if err != nil {
+			return err
+		}
+		if intersectsBitmap(rec.outs, q) {
+			dst.SetCells(rec.ins[inputIdx])
+		}
+	}
+	return nil
+}
+
+func (s *Store) backwardPayOne(q, dst *bitmap.Bitmap, inputIdx int, mapp PayloadFn, covered *bitmap.Bitmap, abort func() bool) error {
+	var err error
+	var buf []uint64
+	n := 0
+	q.Iterate(func(cell uint64) bool {
+		if n++; n%abortCheckInterval == 0 && aborted(abort) {
+			err = ErrAborted
+			return false
+		}
+		val, ok, gerr := s.kv.Get(cellKey(0, cell))
+		if gerr != nil {
+			err = gerr
+			return false
+		}
+		if !ok {
+			return true
+		}
+		payloads, derr := decodePayloadList(val)
+		if derr != nil {
+			err = derr
+			return false
+		}
+		for _, p := range payloads {
+			buf = mapp(cell, p, inputIdx, buf[:0])
+			dst.SetCells(buf)
+		}
+		if covered != nil {
+			covered.Set(cell)
+		}
+		return true
+	})
+	return err
+}
+
+func (s *Store) backwardPayMany(q, dst *bitmap.Bitmap, inputIdx int, mapp PayloadFn, covered *bitmap.Bitmap, abort func() bool) error {
+	ids, err := s.candidateIDs(q, 0, abort)
+	if err != nil {
+		return err
+	}
+	var buf []uint64
+	for id := range ids {
+		rec, err := s.getRecord(id)
+		if err != nil {
+			return err
+		}
+		for _, out := range rec.outs {
+			if !q.Get(out) {
+				continue
+			}
+			buf = mapp(out, rec.payload, inputIdx, buf[:0])
+			dst.SetCells(buf)
+			if covered != nil {
+				covered.Set(out)
+			}
+		}
+	}
+	return nil
+}
+
+// scanBackward answers a backward query against a forward-optimized store
+// by scanning every record — the mismatched-index pathology of Figure 6(b).
+func (s *Store) scanBackward(q, dst *bitmap.Bitmap, inputIdx int, abort func() bool) error {
+	n := 0
+	return s.scanRecords(func(id uint64, rec *record) (bool, error) {
+		if n++; n%abortCheckInterval == 0 && aborted(abort) {
+			return false, ErrAborted
+		}
+		if intersectsBitmap(rec.outs, q) {
+			dst.SetCells(rec.ins[inputIdx])
+		}
+		return true, nil
+	})
+}
+
+// Forward resolves the forward lineage of the query cells q (a bitmap over
+// input inputIdx's space) into dst (a bitmap over the output space).
+//
+// Payload stores are never forward-optimized: the paper's forward query
+// over payload lineage "must iterate through each (outcells, payload) pair
+// and compute the input cells using map_p before it can be compared to the
+// query coordinates" — that scan is implemented here.
+func (s *Store) Forward(q, dst *bitmap.Bitmap, inputIdx int, mapp PayloadFn, abort func() bool) error {
+	if inputIdx < 0 || inputIdx >= len(s.inSpaces) {
+		return fmt.Errorf("lineage: input index %d out of range (%d inputs)", inputIdx, len(s.inSpaces))
+	}
+	if (s.strat.Mode == Pay || s.strat.Mode == Comp) && mapp == nil {
+		return fmt.Errorf("lineage: %s store requires a payload mapping function", s.strat)
+	}
+	if err := s.flushPending(); err != nil {
+		return err
+	}
+	switch {
+	case s.strat.Mode == Pay || s.strat.Mode == Comp:
+		if s.strat.Enc == One {
+			return s.forwardPayOneScan(q, dst, inputIdx, mapp, abort)
+		}
+		return s.forwardPayManyScan(q, dst, inputIdx, mapp, abort)
+	case s.strat.Orient == BackwardOpt:
+		// Mismatched orientation for full lineage: scan records.
+		n := 0
+		return s.scanRecords(func(id uint64, rec *record) (bool, error) {
+			if n++; n%abortCheckInterval == 0 && aborted(abort) {
+				return false, ErrAborted
+			}
+			if intersectsBitmap(rec.ins[inputIdx], q) {
+				dst.SetCells(rec.outs)
+			}
+			return true, nil
+		})
+	case s.strat.Enc == One:
+		return s.forwardFullOne(q, dst, inputIdx, abort)
+	default:
+		return s.forwardFullMany(q, dst, inputIdx, abort)
+	}
+}
+
+func (s *Store) forwardFullOne(q, dst *bitmap.Bitmap, inputIdx int, abort func() bool) error {
+	var err error
+	n := 0
+	q.Iterate(func(cell uint64) bool {
+		if n++; n%abortCheckInterval == 0 && aborted(abort) {
+			err = ErrAborted
+			return false
+		}
+		val, ok, gerr := s.kv.Get(cellKey(inputIdx, cell))
+		if gerr != nil {
+			err = gerr
+			return false
+		}
+		if !ok {
+			return true
+		}
+		ids, derr := decodeIDList(val)
+		if derr != nil {
+			err = derr
+			return false
+		}
+		for _, id := range ids {
+			rec, rerr := s.getRecord(id)
+			if rerr != nil {
+				err = rerr
+				return false
+			}
+			dst.SetCells(rec.outs)
+		}
+		return true
+	})
+	return err
+}
+
+func (s *Store) forwardFullMany(q, dst *bitmap.Bitmap, inputIdx int, abort func() bool) error {
+	ids, err := s.candidateIDs(q, inputIdx, abort)
+	if err != nil {
+		return err
+	}
+	for id := range ids {
+		rec, err := s.getRecord(id)
+		if err != nil {
+			return err
+		}
+		if intersectsBitmap(rec.ins[inputIdx], q) {
+			dst.SetCells(rec.outs)
+		}
+	}
+	return nil
+}
+
+func (s *Store) forwardPayOneScan(q, dst *bitmap.Bitmap, inputIdx int, mapp PayloadFn, abort func() bool) error {
+	var buf []uint64
+	n := 0
+	return s.scanCellEntries(0, func(cell uint64, val []byte) (bool, error) {
+		if n++; n%abortCheckInterval == 0 && aborted(abort) {
+			return false, ErrAborted
+		}
+		if dst.Get(cell) {
+			return true, nil // already established
+		}
+		payloads, err := decodePayloadList(val)
+		if err != nil {
+			return false, err
+		}
+		for _, p := range payloads {
+			buf = mapp(cell, p, inputIdx, buf[:0])
+			if anyInBitmap(buf, q) {
+				dst.Set(cell)
+				break
+			}
+		}
+		return true, nil
+	})
+}
+
+func (s *Store) forwardPayManyScan(q, dst *bitmap.Bitmap, inputIdx int, mapp PayloadFn, abort func() bool) error {
+	var buf []uint64
+	n := 0
+	return s.scanRecords(func(id uint64, rec *record) (bool, error) {
+		if n++; n%abortCheckInterval == 0 && aborted(abort) {
+			return false, ErrAborted
+		}
+		for _, out := range rec.outs {
+			if dst.Get(out) {
+				continue
+			}
+			buf = mapp(out, rec.payload, inputIdx, buf[:0])
+			if anyInBitmap(buf, q) {
+				dst.Set(out)
+			}
+		}
+		return true, nil
+	})
+}
+
+// ContainsOut reports whether an output cell is covered by any stored
+// (payload) pair. The query executor uses it to decide which output cells
+// of a composite operator keep their default mapping on the forward path.
+func (s *Store) ContainsOut(cell uint64) (bool, error) {
+	if err := s.flushPending(); err != nil {
+		return false, err
+	}
+	if s.strat.Enc == One {
+		_, ok, err := s.kv.Get(cellKey(0, cell))
+		return ok, err
+	}
+	coord := s.outSpace.Unravel(cell)
+	found := false
+	var ferr error
+	s.trees[0].SearchPoint(coord, func(it rtree.Item) bool {
+		rec, err := s.getRecord(it.ID)
+		if err != nil {
+			ferr = err
+			return false
+		}
+		if grid.ContainsSorted(rec.outs, cell) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found, ferr
+}
+
+func aborted(abort func() bool) bool { return abort != nil && abort() }
+
+func intersectsBitmap(cells []uint64, b *bitmap.Bitmap) bool {
+	for _, c := range cells {
+		if b.Get(c) {
+			return true
+		}
+	}
+	return false
+}
+
+func anyInBitmap(cells []uint64, b *bitmap.Bitmap) bool { return intersectsBitmap(cells, b) }

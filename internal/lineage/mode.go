@@ -1,0 +1,218 @@
+// Package lineage implements SubZero's core contribution: region lineage —
+// the representation, storage, and retrieval of fine-grained lineage
+// between cells of multi-dimensional arrays (paper §V–§VI).
+//
+// A region pair (outcells, incells_1 … incells_n) records an all-to-all
+// relationship between a set of output cells and sets of input cells, one
+// per operator input. Operators emit region pairs through the lwrite API
+// while they execute; the Encoder serializes pairs into per-operator
+// hashtable stores using one of four encoding strategies (FullOne,
+// FullMany, PayOne, PayMany), each either backward-optimized (keyed on
+// output cells) or forward-optimized (keyed on input cells). Mapping and
+// composite lineage avoid storage partially or entirely by computing
+// lineage from cell coordinates via operator-supplied mapping functions.
+package lineage
+
+import "fmt"
+
+// Mode is the lineage mode an operator generates (paper §V-A, Table I).
+type Mode uint8
+
+// Lineage modes.
+const (
+	// Blackbox stores nothing beyond the versioned arrays; queries re-run
+	// the operator in tracing mode.
+	Blackbox Mode = iota
+	// Full explicitly stores every region pair.
+	Full
+	// Map stores nothing: forward/backward mapping functions compute
+	// lineage from cell coordinates alone.
+	Map
+	// Pay stores (outcells, payload) pairs; a payload-aware mapping
+	// function map_p recomputes the input cells at query time.
+	Pay
+	// Comp combines Map and Pay: the mapping functions define the default
+	// relationship and stored payload pairs override it.
+	Comp
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Blackbox:
+		return "Blackbox"
+	case Full:
+		return "Full"
+	case Map:
+		return "Map"
+	case Pay:
+		return "Pay"
+	case Comp:
+		return "Comp"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// ModeSet is the cur_modes argument passed to an operator's run method: the
+// set of lineage modes the operator must generate during this execution.
+type ModeSet uint8
+
+// NewModeSet builds a set from modes.
+func NewModeSet(modes ...Mode) ModeSet {
+	var s ModeSet
+	for _, m := range modes {
+		s |= 1 << m
+	}
+	return s
+}
+
+// Has reports whether the set contains m.
+func (s ModeSet) Has(m Mode) bool { return s&(1<<m) != 0 }
+
+// With returns the set extended with m.
+func (s ModeSet) With(m Mode) ModeSet { return s | 1<<m }
+
+// NeedsPairs reports whether the operator must call lwrite with full
+// region pairs (Full mode requested).
+func (s ModeSet) NeedsPairs() bool { return s.Has(Full) }
+
+// NeedsPayload reports whether the operator must call lwrite with payload
+// pairs (Pay or Comp mode requested).
+func (s ModeSet) NeedsPayload() bool { return s.Has(Pay) || s.Has(Comp) }
+
+func (s ModeSet) String() string {
+	out := ""
+	for _, m := range []Mode{Blackbox, Full, Map, Pay, Comp} {
+		if s.Has(m) {
+			if out != "" {
+				out += "|"
+			}
+			out += m.String()
+		}
+	}
+	if out == "" {
+		return "{}"
+	}
+	return out
+}
+
+// Encoding is the physical layout of stored region pairs (paper §VI-B,
+// Figure 4).
+type Encoding uint8
+
+// Encoding strategies.
+const (
+	// EncNone marks strategies that store nothing (Map, Blackbox).
+	EncNone Encoding = iota
+	// One: one hash entry per key-side cell pointing at a shared
+	// value-side blob (Figure 4.2); direct hash lookups, no spatial index.
+	One
+	// Many: one hash entry per region pair with the key-side cell set
+	// serialized in the entry, plus an R-tree over key-side bounding
+	// boxes (Figure 4.1); best when fanout is high.
+	Many
+)
+
+func (e Encoding) String() string {
+	switch e {
+	case EncNone:
+		return "None"
+	case One:
+		return "One"
+	case Many:
+		return "Many"
+	}
+	return fmt.Sprintf("Encoding(%d)", uint8(e))
+}
+
+// Orientation says which side of a region pair is the hash key.
+type Orientation uint8
+
+// Orientations.
+const (
+	// BackwardOpt keys on output cells: backward queries are lookups.
+	BackwardOpt Orientation = iota
+	// ForwardOpt keys on input cells: forward queries are lookups.
+	ForwardOpt
+)
+
+func (o Orientation) String() string {
+	if o == ForwardOpt {
+		return "->"
+	}
+	return "<-"
+}
+
+// Strategy fully specifies how one operator stores lineage: a mode, an
+// encoding, and an orientation (paper §VI-B: "Each storage strategy is
+// fully specified by a lineage mode, encoding strategy, and whether it is
+// forward or backward optimized"). An operator may hold several stores
+// with different strategies.
+type Strategy struct {
+	Mode   Mode
+	Enc    Encoding
+	Orient Orientation
+}
+
+// Named strategy constructors matching the paper's terminology.
+var (
+	StratBlackbox = Strategy{Mode: Blackbox, Enc: EncNone, Orient: BackwardOpt}
+	StratMap      = Strategy{Mode: Map, Enc: EncNone, Orient: BackwardOpt}
+	StratFullOne  = Strategy{Mode: Full, Enc: One, Orient: BackwardOpt}
+	StratFullMany = Strategy{Mode: Full, Enc: Many, Orient: BackwardOpt}
+	StratPayOne   = Strategy{Mode: Pay, Enc: One, Orient: BackwardOpt}
+	StratPayMany  = Strategy{Mode: Pay, Enc: Many, Orient: BackwardOpt}
+	StratCompOne  = Strategy{Mode: Comp, Enc: One, Orient: BackwardOpt}
+	StratCompMany = Strategy{Mode: Comp, Enc: Many, Orient: BackwardOpt}
+
+	StratFullOneFwd  = Strategy{Mode: Full, Enc: One, Orient: ForwardOpt}
+	StratFullManyFwd = Strategy{Mode: Full, Enc: Many, Orient: ForwardOpt}
+)
+
+// Validate checks mode/encoding/orientation consistency. Payload-bearing
+// modes cannot be forward-optimized: the payload is an opaque blob that
+// only map_p can interpret, so input cells are not available as keys at
+// write time (paper §V-A3: "payload functions are designed to optimize
+// execution of backward lineage queries").
+func (s Strategy) Validate() error {
+	switch s.Mode {
+	case Blackbox, Map:
+		if s.Enc != EncNone {
+			return fmt.Errorf("lineage: %s mode must use EncNone, got %s", s.Mode, s.Enc)
+		}
+	case Full:
+		if s.Enc != One && s.Enc != Many {
+			return fmt.Errorf("lineage: Full mode needs One or Many encoding")
+		}
+	case Pay, Comp:
+		if s.Enc != One && s.Enc != Many {
+			return fmt.Errorf("lineage: %s mode needs One or Many encoding", s.Mode)
+		}
+		if s.Orient == ForwardOpt {
+			return fmt.Errorf("lineage: %s mode cannot be forward-optimized", s.Mode)
+		}
+	default:
+		return fmt.Errorf("lineage: unknown mode %d", s.Mode)
+	}
+	return nil
+}
+
+// StoresPairs reports whether the strategy materializes lineage entries
+// (i.e., needs a physical store).
+func (s Strategy) StoresPairs() bool { return s.Mode == Full || s.Mode == Pay || s.Mode == Comp }
+
+func (s Strategy) String() string {
+	switch s.Mode {
+	case Blackbox, Map:
+		return s.Mode.String()
+	}
+	return fmt.Sprintf("%s%s/%s", s.Orient, s.Mode, s.Enc)
+}
+
+// ID returns a short stable identifier used in store namespaces.
+func (s Strategy) ID() string {
+	dir := "b"
+	if s.Orient == ForwardOpt {
+		dir = "f"
+	}
+	return fmt.Sprintf("%s-%s-%s", s.Mode, s.Enc, dir)
+}

@@ -1,0 +1,91 @@
+package lineage
+
+import "testing"
+
+func TestModeSet(t *testing.T) {
+	s := NewModeSet(Full, Pay)
+	if !s.Has(Full) || !s.Has(Pay) || s.Has(Map) || s.Has(Blackbox) {
+		t.Fatalf("set contents wrong: %s", s)
+	}
+	if !s.NeedsPairs() || !s.NeedsPayload() {
+		t.Fatal("needs flags wrong")
+	}
+	if NewModeSet(Comp).NeedsPairs() {
+		t.Fatal("Comp alone should not need full pairs")
+	}
+	if !NewModeSet(Comp).NeedsPayload() {
+		t.Fatal("Comp needs payload")
+	}
+	if NewModeSet(Blackbox).NeedsPairs() || NewModeSet(Blackbox).NeedsPayload() {
+		t.Fatal("Blackbox writes nothing")
+	}
+	ext := NewModeSet(Full).With(Map)
+	if !ext.Has(Map) || !ext.Has(Full) {
+		t.Fatal("With failed")
+	}
+}
+
+func TestStrategyValidate(t *testing.T) {
+	valid := []Strategy{
+		StratBlackbox, StratMap, StratFullOne, StratFullMany,
+		StratPayOne, StratPayMany, StratCompOne, StratCompMany,
+		StratFullOneFwd, StratFullManyFwd,
+	}
+	for _, s := range valid {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	invalid := []Strategy{
+		{Mode: Blackbox, Enc: One},
+		{Mode: Map, Enc: Many},
+		{Mode: Full, Enc: EncNone},
+		{Mode: Pay, Enc: EncNone},
+		{Mode: Pay, Enc: One, Orient: ForwardOpt},
+		{Mode: Comp, Enc: Many, Orient: ForwardOpt},
+		{Mode: Mode(42), Enc: One},
+	}
+	for _, s := range invalid {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("%+v validated", s)
+		}
+	}
+}
+
+func TestStrategyStringsAndIDs(t *testing.T) {
+	cases := map[Strategy]string{
+		StratBlackbox:    "Blackbox",
+		StratMap:         "Map",
+		StratFullOne:     "<-Full/One",
+		StratFullManyFwd: "->Full/Many",
+		StratPayMany:     "<-Pay/Many",
+		StratCompOne:     "<-Comp/One",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%+v String=%q, want %q", s, got, want)
+		}
+	}
+	// IDs must be unique across the named strategies.
+	ids := map[string]bool{}
+	for _, s := range []Strategy{
+		StratBlackbox, StratMap, StratFullOne, StratFullMany, StratPayOne,
+		StratPayMany, StratCompOne, StratCompMany, StratFullOneFwd, StratFullManyFwd,
+	} {
+		if ids[s.ID()] {
+			t.Fatalf("duplicate strategy ID %q", s.ID())
+		}
+		ids[s.ID()] = true
+	}
+}
+
+func TestStoresPairs(t *testing.T) {
+	if StratBlackbox.StoresPairs() || StratMap.StoresPairs() {
+		t.Fatal("storage-free strategies claim to store")
+	}
+	for _, s := range []Strategy{StratFullOne, StratFullMany, StratPayOne, StratPayMany, StratCompOne} {
+		if !s.StoresPairs() {
+			t.Fatalf("%s should store pairs", s)
+		}
+	}
+}

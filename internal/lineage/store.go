@@ -1,0 +1,446 @@
+package lineage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"subzero/internal/grid"
+	"subzero/internal/kvstore"
+	"subzero/internal/rtree"
+)
+
+// ErrAborted is returned by store lookups cancelled by the query-time
+// optimizer when materialized-lineage access exceeds its budget and the
+// executor falls back to re-running the operator (paper §VII-A).
+var ErrAborted = errors.New("lineage: lookup aborted by query-time optimizer")
+
+// StoreStats aggregates what the statistics collector records about one
+// store's write path; the optimizer's cost model is calibrated from these.
+type StoreStats struct {
+	Pairs        int
+	OutCells     int64
+	InCells      int64
+	PayloadBytes int64
+	WriteTime    time.Duration
+}
+
+// Store holds the materialized region lineage of a single operator
+// instance under a single strategy — one "operator specific datastore" of
+// the paper's architecture. It encodes region pairs into a kvstore
+// hashtable according to the strategy's encoding and orientation, and
+// serves backward/forward lookups over them.
+//
+// Store is not safe for concurrent use.
+type Store struct {
+	strat    Strategy
+	outSpace *grid.Space
+	inSpaces []*grid.Space
+	kv       kvstore.Store
+
+	// trees index the key side of Many encodings: slot 0 holds output
+	// bounding boxes for backward-optimized stores; slot i holds input-i
+	// bounding boxes for forward-optimized stores.
+	trees    []*rtree.Tree
+	nextPair uint64
+	dirtyIdx bool
+
+	// Pending per-cell entries for One encodings, merged into the
+	// hashtable in batches so key collisions don't force a read-modify-
+	// write per lwrite call.
+	pendingIDs   []map[uint64][]uint64
+	pendingPay   map[uint64][][]byte
+	pendingCount int
+
+	recCache map[uint64]*record
+
+	stats StoreStats
+}
+
+const (
+	pendingFlushThreshold = 1 << 18
+	recCacheLimit         = 1 << 13
+	abortCheckInterval    = 64
+)
+
+// OpenStore creates (or reopens) a lineage store over the given hashtable.
+// The strategy must be one that materializes pairs (Full, Pay, or Comp).
+// Reopening a non-empty hashtable restores the pair counter and rebuilds
+// the spatial indexes from their persisted form.
+func OpenStore(kv kvstore.Store, strat Strategy, outSpace *grid.Space, inSpaces []*grid.Space) (*Store, error) {
+	if err := strat.Validate(); err != nil {
+		return nil, err
+	}
+	if !strat.StoresPairs() {
+		return nil, fmt.Errorf("lineage: strategy %s does not materialize pairs", strat)
+	}
+	if len(inSpaces) == 0 || len(inSpaces) > 255 {
+		return nil, fmt.Errorf("lineage: store needs 1..255 input spaces, got %d", len(inSpaces))
+	}
+	s := &Store{
+		strat:    strat,
+		outSpace: outSpace,
+		inSpaces: inSpaces,
+		kv:       kv,
+		recCache: make(map[uint64]*record),
+	}
+	nSlots := 1
+	if strat.Orient == ForwardOpt {
+		nSlots = len(inSpaces)
+	}
+	if strat.Enc == Many {
+		s.trees = make([]*rtree.Tree, nSlots)
+		for i := range s.trees {
+			s.trees[i] = rtree.New(s.slotSpace(i).Rank())
+		}
+	}
+	if strat.Enc == One {
+		if strat.Mode == Pay || strat.Mode == Comp {
+			s.pendingPay = make(map[uint64][][]byte)
+		} else {
+			s.pendingIDs = make([]map[uint64][]uint64, nSlots)
+			for i := range s.pendingIDs {
+				s.pendingIDs[i] = make(map[uint64][]uint64)
+			}
+		}
+	}
+	if err := s.loadMeta(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// slotSpace returns the space of the key side of the given slot.
+func (s *Store) slotSpace(slot int) *grid.Space {
+	if s.strat.Orient == ForwardOpt {
+		return s.inSpaces[slot]
+	}
+	return s.outSpace
+}
+
+func (s *Store) loadMeta() error {
+	val, ok, err := s.kv.Get(metaKey("next"))
+	if err != nil {
+		return err
+	}
+	if ok {
+		id, n := binary.Uvarint(val)
+		if n <= 0 {
+			return fmt.Errorf("lineage: corrupt store meta")
+		}
+		s.nextPair = id
+		// Restore stats snapshot if present.
+		if sv, ok2, _ := s.kv.Get(metaKey("stats")); ok2 {
+			s.decodeStats(sv)
+		}
+	}
+	for i := range s.trees {
+		tv, ok, err := s.kv.Get(metaKey(fmt.Sprintf("idx%d", i)))
+		if err != nil {
+			return err
+		}
+		if ok {
+			tr, err := rtree.Decode(tv)
+			if err != nil {
+				return fmt.Errorf("lineage: decode index %d: %w", i, err)
+			}
+			s.trees[i] = tr
+		}
+	}
+	return nil
+}
+
+// Strategy returns the store's strategy.
+func (s *Store) Strategy() Strategy { return s.strat }
+
+// Stats returns the accumulated write statistics.
+func (s *Store) Stats() StoreStats { return s.stats }
+
+// AddWriteTime accrues time spent by the runtime serializing into this
+// store; it is part of the strategy's runtime overhead.
+func (s *Store) AddWriteTime(d time.Duration) { s.stats.WriteTime += d }
+
+// NumPairs returns the number of region pairs written.
+func (s *Store) NumPairs() int { return s.stats.Pairs }
+
+// WritePairs encodes a batch of region pairs into the store. Pairs must
+// already be normalized and validated (the writer does both).
+func (s *Store) WritePairs(pairs []RegionPair) error {
+	for i := range pairs {
+		if err := s.writePair(&pairs[i]); err != nil {
+			return err
+		}
+	}
+	if s.pendingCount >= pendingFlushThreshold {
+		return s.flushPending()
+	}
+	return nil
+}
+
+func (s *Store) writePair(rp *RegionPair) error {
+	wantPayload := s.strat.Mode == Pay || s.strat.Mode == Comp
+	if rp.IsPayload() != wantPayload {
+		return fmt.Errorf("lineage: %s store got %s pair", s.strat,
+			map[bool]string{true: "payload", false: "full"}[rp.IsPayload()])
+	}
+	s.stats.Pairs++
+	s.stats.OutCells += int64(len(rp.Out))
+	for _, in := range rp.Ins {
+		s.stats.InCells += int64(len(in))
+	}
+	s.stats.PayloadBytes += int64(len(rp.Payload))
+
+	switch {
+	case s.strat.Enc == One && wantPayload:
+		// PayOne: duplicate the payload under every output cell.
+		for _, c := range rp.Out {
+			s.pendingPay[c] = append(s.pendingPay[c], rp.Payload)
+			s.pendingCount++
+		}
+		return nil
+	case s.strat.Enc == One:
+		// FullOne: shared pair record + per-cell references.
+		id := s.nextPair
+		s.nextPair++
+		if err := s.kv.Put(pairKey(id), encodeRecord(rp)); err != nil {
+			return err
+		}
+		if s.strat.Orient == BackwardOpt {
+			for _, c := range rp.Out {
+				s.pendingIDs[0][c] = append(s.pendingIDs[0][c], id)
+				s.pendingCount++
+			}
+		} else {
+			for i, in := range rp.Ins {
+				for _, c := range in {
+					s.pendingIDs[i][c] = append(s.pendingIDs[i][c], id)
+					s.pendingCount++
+				}
+			}
+		}
+		return nil
+	default:
+		// Many encodings: one record per pair + R-tree entries.
+		id := s.nextPair
+		s.nextPair++
+		if err := s.kv.Put(pairKey(id), encodeRecord(rp)); err != nil {
+			return err
+		}
+		if s.strat.Orient == BackwardOpt {
+			if bb, ok := grid.BoundingBox(s.outSpace, rp.Out); ok {
+				if err := s.trees[0].Insert(rtree.Item{Rect: bb, ID: id}); err != nil {
+					return err
+				}
+			}
+		} else {
+			for i, in := range rp.Ins {
+				if bb, ok := grid.BoundingBox(s.inSpaces[i], in); ok {
+					if err := s.trees[i].Insert(rtree.Item{Rect: bb, ID: id}); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		s.dirtyIdx = true
+		return nil
+	}
+}
+
+// flushPending merges buffered per-cell entries into the hashtable. Reads
+// of existing entries are batched before writes so the file store's write
+// buffer is drained once, not per key.
+func (s *Store) flushPending() error {
+	if s.pendingCount == 0 {
+		return nil
+	}
+	if s.pendingPay != nil {
+		merged := make(map[uint64][][]byte, len(s.pendingPay))
+		for c, payloads := range s.pendingPay {
+			if old, ok, err := s.kv.Get(cellKey(0, c)); err != nil {
+				return err
+			} else if ok {
+				existing, err := decodePayloadList(old)
+				if err != nil {
+					return err
+				}
+				payloads = append(existing, payloads...)
+			}
+			merged[c] = payloads
+		}
+		for c, payloads := range merged {
+			if err := s.kv.Put(cellKey(0, c), encodePayloadList(payloads)); err != nil {
+				return err
+			}
+		}
+		s.pendingPay = make(map[uint64][][]byte)
+	}
+	for slot, m := range s.pendingIDs {
+		if len(m) == 0 {
+			continue
+		}
+		merged := make(map[uint64][]uint64, len(m))
+		for c, ids := range m {
+			if old, ok, err := s.kv.Get(cellKey(slot, c)); err != nil {
+				return err
+			} else if ok {
+				existing, err := decodeIDList(old)
+				if err != nil {
+					return err
+				}
+				ids = append(existing, ids...)
+			}
+			merged[c] = ids
+		}
+		for c, ids := range merged {
+			if err := s.kv.Put(cellKey(slot, c), encodeIDList(ids)); err != nil {
+				return err
+			}
+		}
+		s.pendingIDs[slot] = make(map[uint64][]uint64)
+	}
+	s.pendingCount = 0
+	return nil
+}
+
+// Flush persists pending entries, spatial indexes, and metadata, then
+// syncs the hashtable. SizeBytes is exact after Flush.
+func (s *Store) Flush() error {
+	if err := s.flushPending(); err != nil {
+		return err
+	}
+	if s.dirtyIdx {
+		for i, tr := range s.trees {
+			if err := s.kv.Put(metaKey(fmt.Sprintf("idx%d", i)), tr.Encode()); err != nil {
+				return err
+			}
+		}
+		s.dirtyIdx = false
+	}
+	if err := s.kv.Put(metaKey("next"), binary.AppendUvarint(nil, s.nextPair)); err != nil {
+		return err
+	}
+	if err := s.kv.Put(metaKey("stats"), s.encodeStats()); err != nil {
+		return err
+	}
+	return s.kv.Sync()
+}
+
+func (s *Store) encodeStats() []byte {
+	buf := binary.AppendUvarint(nil, uint64(s.stats.Pairs))
+	buf = binary.AppendUvarint(buf, uint64(s.stats.OutCells))
+	buf = binary.AppendUvarint(buf, uint64(s.stats.InCells))
+	buf = binary.AppendUvarint(buf, uint64(s.stats.PayloadBytes))
+	buf = binary.AppendUvarint(buf, uint64(s.stats.WriteTime))
+	return buf
+}
+
+func (s *Store) decodeStats(val []byte) {
+	vals := make([]uint64, 0, 5)
+	off := 0
+	for i := 0; i < 5 && off < len(val); i++ {
+		v, n := binary.Uvarint(val[off:])
+		if n <= 0 {
+			return
+		}
+		vals = append(vals, v)
+		off += n
+	}
+	if len(vals) == 5 {
+		s.stats = StoreStats{
+			Pairs:        int(vals[0]),
+			OutCells:     int64(vals[1]),
+			InCells:      int64(vals[2]),
+			PayloadBytes: int64(vals[3]),
+			WriteTime:    time.Duration(vals[4]),
+		}
+	}
+}
+
+// SizeBytes returns the storage charged to this store: the hashtable size
+// plus an estimate for any not-yet-flushed state.
+func (s *Store) SizeBytes() int64 {
+	size := s.kv.SizeBytes()
+	if s.pendingCount > 0 {
+		size += int64(s.pendingCount) * 14
+	}
+	if s.dirtyIdx {
+		for _, tr := range s.trees {
+			size += int64(tr.EncodedLen())
+		}
+	}
+	return size
+}
+
+func (s *Store) getRecord(id uint64) (*record, error) {
+	if rec, ok := s.recCache[id]; ok {
+		return rec, nil
+	}
+	val, ok, err := s.kv.Get(pairKey(id))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("lineage: dangling pair id %d", id)
+	}
+	rec, err := decodeRecord(val)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.recCache) >= recCacheLimit {
+		s.recCache = make(map[uint64]*record)
+	}
+	s.recCache[id] = rec
+	return rec, nil
+}
+
+// scanRecords visits every pair record.
+func (s *Store) scanRecords(fn func(id uint64, rec *record) (bool, error)) error {
+	var scanErr error
+	err := s.kv.Scan(func(key, val []byte) bool {
+		if len(key) == 0 || key[0] != keyPair {
+			return true
+		}
+		id, n := binary.Uvarint(key[1:])
+		if n <= 0 {
+			scanErr = fmt.Errorf("lineage: corrupt pair key")
+			return false
+		}
+		rec, err := decodeRecord(val)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		cont, err := fn(id, rec)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		return cont
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	return err
+}
+
+// scanCellEntries visits every per-cell entry of a slot (One encodings).
+func (s *Store) scanCellEntries(slot int, fn func(cell uint64, val []byte) (bool, error)) error {
+	var scanErr error
+	err := s.kv.Scan(func(key, val []byte) bool {
+		if len(key) != 10 || key[0] != keyCell || int(key[1]) != slot {
+			return true
+		}
+		cell := binary.BigEndian.Uint64(key[2:])
+		cont, err := fn(cell, val)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		return cont
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	return err
+}

@@ -1,0 +1,166 @@
+package lineage
+
+import (
+	"fmt"
+	"time"
+
+	"subzero/internal/grid"
+)
+
+// Writer implements the lwrite half of the runtime API (paper Table I) for
+// a single operator execution. Operators call LWrite with explicit region
+// pairs and LWritePayload with (outcells, payload) pairs; the writer
+// normalizes and validates them, buffers blocks of pairs in memory, and
+// bulk-encodes each block into every store whose strategy consumes that
+// pair kind ("Blocks of region pairs are buffered in memory, and bulk
+// encoded using the Encoder", §VI-A).
+//
+// During black-box re-execution the executor attaches a sink instead of
+// stores; pairs stream to the query join without being persisted.
+type Writer struct {
+	outSpace *grid.Space
+	inSpaces []*grid.Space
+
+	fullStores []*Store // strategies consuming explicit pairs (Full)
+	payStores  []*Store // strategies consuming payload pairs (Pay, Comp)
+	sink       func(*RegionPair) error
+
+	fullBuf   []RegionPair
+	payBuf    []RegionPair
+	bufCells  int
+	elapsed   time.Duration
+	pairCount int
+}
+
+// flushCellThreshold bounds the cells buffered before a bulk encode.
+const flushCellThreshold = 1 << 16
+
+// NewWriter creates a writer for one operator execution. fullStores
+// receive LWrite pairs, payStores receive LWritePayload pairs, and sink
+// (optional) receives every pair for tracing-mode re-execution.
+func NewWriter(outSpace *grid.Space, inSpaces []*grid.Space, fullStores, payStores []*Store, sink func(*RegionPair) error) *Writer {
+	return &Writer{
+		outSpace:   outSpace,
+		inSpaces:   inSpaces,
+		fullStores: fullStores,
+		payStores:  payStores,
+		sink:       sink,
+	}
+}
+
+// LWrite records a full region pair: outcells in the output array and one
+// cell set per input array (lwrite(outcells, incells1, ..., incellsn)).
+// The writer copies the slices, so callers may reuse their buffers.
+func (w *Writer) LWrite(out []uint64, ins ...[]uint64) error {
+	start := time.Now()
+	defer func() { w.elapsed += time.Since(start) }()
+	if len(ins) != len(w.inSpaces) {
+		return fmt.Errorf("lineage: lwrite got %d input sets, operator has %d inputs", len(ins), len(w.inSpaces))
+	}
+	rp := RegionPair{Out: append([]uint64(nil), out...), Ins: make([][]uint64, len(ins))}
+	for i, in := range ins {
+		rp.Ins[i] = append([]uint64(nil), in...)
+	}
+	rp.Normalize()
+	if err := rp.Validate(w.outSpace, w.inSpaces); err != nil {
+		return err
+	}
+	w.pairCount++
+	if w.sink != nil {
+		if err := w.sink(&rp); err != nil {
+			return err
+		}
+	}
+	if len(w.fullStores) == 0 {
+		return nil
+	}
+	w.fullBuf = append(w.fullBuf, rp)
+	out2, in2 := rp.CellCount()
+	w.bufCells += out2 + in2
+	if w.bufCells >= flushCellThreshold {
+		return w.flushBuffers()
+	}
+	return nil
+}
+
+// LWritePayload records a payload pair (lwrite(outcells, payload)): the
+// output cells plus a small operator-defined blob that map_p interprets at
+// query time. The writer copies both arguments.
+func (w *Writer) LWritePayload(out []uint64, payload []byte) error {
+	start := time.Now()
+	defer func() { w.elapsed += time.Since(start) }()
+	rp := RegionPair{
+		Out:     append([]uint64(nil), out...),
+		Payload: append([]byte(nil), payload...),
+	}
+	if rp.Payload == nil {
+		rp.Payload = []byte{}
+	}
+	rp.Normalize()
+	if err := rp.Validate(w.outSpace, w.inSpaces); err != nil {
+		return err
+	}
+	w.pairCount++
+	if len(w.payStores) == 0 {
+		return nil
+	}
+	w.payBuf = append(w.payBuf, rp)
+	w.bufCells += len(rp.Out)
+	if w.bufCells >= flushCellThreshold {
+		return w.flushBuffers()
+	}
+	return nil
+}
+
+func (w *Writer) flushBuffers() error {
+	if len(w.fullBuf) > 0 {
+		for _, s := range w.fullStores {
+			start := time.Now()
+			if err := s.WritePairs(w.fullBuf); err != nil {
+				return err
+			}
+			s.AddWriteTime(time.Since(start))
+		}
+		w.fullBuf = w.fullBuf[:0]
+	}
+	if len(w.payBuf) > 0 {
+		for _, s := range w.payStores {
+			start := time.Now()
+			if err := s.WritePairs(w.payBuf); err != nil {
+				return err
+			}
+			s.AddWriteTime(time.Since(start))
+		}
+		w.payBuf = w.payBuf[:0]
+	}
+	w.bufCells = 0
+	return nil
+}
+
+// Flush drains buffered pairs into the stores and persists their indexes.
+// The executor calls it once when the operator's run completes.
+func (w *Writer) Flush() error {
+	start := time.Now()
+	defer func() { w.elapsed += time.Since(start) }()
+	if err := w.flushBuffers(); err != nil {
+		return err
+	}
+	for _, s := range w.fullStores {
+		if err := s.Flush(); err != nil {
+			return err
+		}
+	}
+	for _, s := range w.payStores {
+		if err := s.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Elapsed returns the wall-clock time spent inside the lwrite API for this
+// execution — the runtime overhead attributable to lineage capture.
+func (w *Writer) Elapsed() time.Duration { return w.elapsed }
+
+// Pairs returns the number of pairs written through this writer.
+func (w *Writer) Pairs() int { return w.pairCount }

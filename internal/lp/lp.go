@@ -1,0 +1,299 @@
+// Package lp implements a small linear-programming and 0/1
+// integer-programming solver.
+//
+// SubZero's lineage-strategy optimizer (paper §VII) formulates storage
+// strategy selection as an integer program and solves it "using the simplex
+// method in GNU Linear Programming Kit"; the instances are tiny (operators ×
+// strategies binaries) and solve in about a millisecond. This package is
+// the stdlib-only substitute: a dense two-phase primal simplex with Bland's
+// rule, plus depth-first branch-and-bound for binary variables, and an
+// exhaustive reference solver used to validate both in tests.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is the relational operator of a constraint.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // Σ coeffs·x ≤ RHS
+	GE              // Σ coeffs·x ≥ RHS
+	EQ              // Σ coeffs·x = RHS
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+// Constraint is a single linear constraint over the problem's variables.
+// Coeffs may be shorter than NumVars; missing entries are zero.
+type Constraint struct {
+	Coeffs []float64
+	Sense  Sense
+	RHS    float64
+}
+
+// Problem is a minimization over non-negative variables:
+//
+//	minimize  Objective · x
+//	subject to Constraints, 0 ≤ x,  x_j ≤ 1 and integral for Binary[j].
+//
+// Binary variables additionally get an implicit x ≤ 1 bound.
+type Problem struct {
+	NumVars     int
+	Objective   []float64
+	Constraints []Constraint
+	Binary      []bool // len NumVars; true marks a 0/1 variable
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "unknown"
+}
+
+// Solution holds variable values and the objective at the optimum.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+const (
+	eps      = 1e-7
+	maxIters = 100000
+)
+
+// Validate checks structural consistency of a problem.
+func (p *Problem) Validate() error {
+	if p.NumVars <= 0 {
+		return fmt.Errorf("lp: problem has no variables")
+	}
+	if len(p.Objective) != p.NumVars {
+		return fmt.Errorf("lp: objective has %d coefficients, want %d", len(p.Objective), p.NumVars)
+	}
+	if p.Binary != nil && len(p.Binary) != p.NumVars {
+		return fmt.Errorf("lp: binary flags have %d entries, want %d", len(p.Binary), p.NumVars)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) > p.NumVars {
+			return fmt.Errorf("lp: constraint %d has %d coefficients, want <= %d", i, len(c.Coeffs), p.NumVars)
+		}
+	}
+	return nil
+}
+
+// SolveLP solves the LP relaxation (binary flags become 0 ≤ x ≤ 1 bounds).
+func SolveLP(p *Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	cons := p.Constraints
+	for j, isBin := range p.Binary {
+		if isBin {
+			co := make([]float64, j+1)
+			co[j] = 1
+			cons = append(cons, Constraint{Coeffs: co, Sense: LE, RHS: 1})
+		}
+	}
+	return simplex(p.NumVars, p.Objective, cons)
+}
+
+// SolveILP solves the problem with the binary variables constrained to
+// {0,1} using branch-and-bound over LP relaxations.
+func SolveILP(p *Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	hasBinary := false
+	for _, b := range p.Binary {
+		if b {
+			hasBinary = true
+			break
+		}
+	}
+	if !hasBinary {
+		return SolveLP(p)
+	}
+	bb := &bnb{prob: p, best: Solution{Status: Infeasible, Objective: math.Inf(1)}}
+	if err := bb.branch(nil); err != nil {
+		return Solution{}, err
+	}
+	if bb.best.Status != Optimal {
+		// Distinguish infeasible from unbounded: if the root relaxation
+		// was unbounded, report that.
+		root, err := SolveLP(p)
+		if err == nil && root.Status == Unbounded {
+			return root, nil
+		}
+		return Solution{Status: Infeasible}, nil
+	}
+	return bb.best, nil
+}
+
+type fixing struct {
+	v     int
+	value float64
+}
+
+type bnb struct {
+	prob  *Problem
+	best  Solution
+	nodes int
+}
+
+const maxNodes = 1 << 20
+
+func (b *bnb) branch(fixed []fixing) error {
+	b.nodes++
+	if b.nodes > maxNodes {
+		return fmt.Errorf("lp: branch-and-bound exceeded %d nodes", maxNodes)
+	}
+	sub := *b.prob
+	sub.Constraints = append(append([]Constraint{}, b.prob.Constraints...), fixingConstraints(fixed)...)
+	rel, err := SolveLP(&sub)
+	if err != nil {
+		return err
+	}
+	switch rel.Status {
+	case Infeasible:
+		return nil
+	case Unbounded:
+		// With all binaries bounded this means the continuous part is
+		// unbounded; integrality will not fix it.
+		return nil
+	}
+	if rel.Objective >= b.best.Objective-eps {
+		return nil // pruned by incumbent
+	}
+	// Find the most fractional binary variable.
+	frac, fracVar := -1.0, -1
+	for j := 0; j < b.prob.NumVars; j++ {
+		if !b.prob.Binary[j] {
+			continue
+		}
+		f := math.Abs(rel.X[j] - math.Round(rel.X[j]))
+		if f > eps && f > frac {
+			frac, fracVar = f, j
+		}
+	}
+	if fracVar == -1 {
+		// Integral: round binaries exactly and accept as incumbent.
+		for j := range rel.X {
+			if b.prob.Binary != nil && b.prob.Binary[j] {
+				rel.X[j] = math.Round(rel.X[j])
+			}
+		}
+		b.best = rel
+		return nil
+	}
+	// Branch: try the rounded-toward value first for better incumbents.
+	first, second := 1.0, 0.0
+	if rel.X[fracVar] < 0.5 {
+		first, second = 0.0, 1.0
+	}
+	if err := b.branch(append(fixed, fixing{fracVar, first})); err != nil {
+		return err
+	}
+	return b.branch(append(fixed[:len(fixed):len(fixed)], fixing{fracVar, second}))
+}
+
+func fixingConstraints(fixed []fixing) []Constraint {
+	out := make([]Constraint, len(fixed))
+	for i, f := range fixed {
+		co := make([]float64, f.v+1)
+		co[f.v] = 1
+		out[i] = Constraint{Coeffs: co, Sense: EQ, RHS: f.value}
+	}
+	return out
+}
+
+// SolveBrute exhaustively enumerates all assignments of the binary
+// variables (continuous variables are not supported) and returns the best
+// feasible one. It exists to validate the simplex/B&B solvers in tests and
+// is exponential: callers must keep the variable count small.
+func SolveBrute(p *Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	for j := 0; j < p.NumVars; j++ {
+		if p.Binary == nil || !p.Binary[j] {
+			return Solution{}, fmt.Errorf("lp: SolveBrute requires all variables binary")
+		}
+	}
+	if p.NumVars > 24 {
+		return Solution{}, fmt.Errorf("lp: SolveBrute limited to 24 variables, got %d", p.NumVars)
+	}
+	best := Solution{Status: Infeasible, Objective: math.Inf(1)}
+	x := make([]float64, p.NumVars)
+	for mask := 0; mask < 1<<p.NumVars; mask++ {
+		for j := range x {
+			x[j] = float64((mask >> j) & 1)
+		}
+		if !feasible(p, x) {
+			continue
+		}
+		obj := 0.0
+		for j := range x {
+			obj += p.Objective[j] * x[j]
+		}
+		if obj < best.Objective {
+			xc := make([]float64, len(x))
+			copy(xc, x)
+			best = Solution{Status: Optimal, X: xc, Objective: obj}
+		}
+	}
+	return best, nil
+}
+
+func feasible(p *Problem, x []float64) bool {
+	for _, c := range p.Constraints {
+		lhs := 0.0
+		for j, co := range c.Coeffs {
+			lhs += co * x[j]
+		}
+		switch c.Sense {
+		case LE:
+			if lhs > c.RHS+eps {
+				return false
+			}
+		case GE:
+			if lhs < c.RHS-eps {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-c.RHS) > eps {
+				return false
+			}
+		}
+	}
+	return true
+}

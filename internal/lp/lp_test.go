@@ -1,0 +1,372 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-5 }
+
+func TestValidate(t *testing.T) {
+	bad := []Problem{
+		{NumVars: 0},
+		{NumVars: 2, Objective: []float64{1}},
+		{NumVars: 2, Objective: []float64{1, 2}, Binary: []bool{true}},
+		{NumVars: 1, Objective: []float64{1}, Constraints: []Constraint{{Coeffs: []float64{1, 2}}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d validated", i)
+		}
+	}
+}
+
+// Classic textbook LP:
+//
+//	max 3x + 5y  s.t. x<=4, 2y<=12, 3x+2y<=18  -> optimum 36 at (2,6).
+func TestSimplexTextbook(t *testing.T) {
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{-3, -5}, // maximize -> minimize negation
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Sense: LE, RHS: 4},
+			{Coeffs: []float64{0, 2}, Sense: LE, RHS: 12},
+			{Coeffs: []float64{3, 2}, Sense: LE, RHS: 18},
+		},
+	}
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !almostEq(sol.Objective, -36) {
+		t.Fatalf("got %v obj=%f, want optimal -36", sol.Status, sol.Objective)
+	}
+	if !almostEq(sol.X[0], 2) || !almostEq(sol.X[1], 6) {
+		t.Fatalf("x=%v, want (2,6)", sol.X)
+	}
+}
+
+func TestSimplexGEAndEQ(t *testing.T) {
+	// min x+y s.t. x+y>=2, x-y=0  -> (1,1) obj 2.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: GE, RHS: 2},
+			{Coeffs: []float64{1, -1}, Sense: EQ, RHS: 0},
+		},
+	}
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !almostEq(sol.Objective, 2) || !almostEq(sol.X[0], 1) {
+		t.Fatalf("sol=%+v", sol)
+	}
+}
+
+func TestSimplexNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -3  (i.e. x >= 3).
+	p := &Problem{
+		NumVars:     1,
+		Objective:   []float64{1},
+		Constraints: []Constraint{{Coeffs: []float64{-1}, Sense: LE, RHS: -3}},
+	}
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !almostEq(sol.X[0], 3) {
+		t.Fatalf("sol=%+v", sol)
+	}
+}
+
+func TestSimplexInfeasible(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Sense: GE, RHS: 5},
+			{Coeffs: []float64{1}, Sense: LE, RHS: 2},
+		},
+	}
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status=%v, want infeasible", sol.Status)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	// min -x with only x >= 0: unbounded below.
+	p := &Problem{NumVars: 1, Objective: []float64{-1}}
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status=%v, want unbounded", sol.Status)
+	}
+}
+
+func TestSimplexDegenerate(t *testing.T) {
+	// Degenerate vertex: redundant constraints meeting at the optimum.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{-1, -1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Sense: LE, RHS: 1},
+			{Coeffs: []float64{0, 1}, Sense: LE, RHS: 1},
+			{Coeffs: []float64{1, 1}, Sense: LE, RHS: 2},
+			{Coeffs: []float64{1, 1}, Sense: LE, RHS: 2}, // duplicate
+		},
+	}
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !almostEq(sol.Objective, -2) {
+		t.Fatalf("sol=%+v", sol)
+	}
+}
+
+func TestILPKnapsack(t *testing.T) {
+	// max 10a+13b+7c s.t. 3a+4b+2c <= 6, binaries.
+	// Best: a+c (17)? a+b=23 weight 7 no; b+c=20 weight 6 yes -> 20.
+	p := &Problem{
+		NumVars:     3,
+		Objective:   []float64{-10, -13, -7},
+		Constraints: []Constraint{{Coeffs: []float64{3, 4, 2}, Sense: LE, RHS: 6}},
+		Binary:      []bool{true, true, true},
+	}
+	sol, err := SolveILP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !almostEq(sol.Objective, -20) {
+		t.Fatalf("sol=%+v, want -20", sol)
+	}
+	if !almostEq(sol.X[0], 0) || !almostEq(sol.X[1], 1) || !almostEq(sol.X[2], 1) {
+		t.Fatalf("x=%v, want (0,1,1)", sol.X)
+	}
+}
+
+func TestILPForcedAssignment(t *testing.T) {
+	// Covering with equality: exactly one of each group.
+	p := &Problem{
+		NumVars:   4,
+		Objective: []float64{5, 1, 1, 5},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1, 0, 0}, Sense: EQ, RHS: 1},
+			{Coeffs: []float64{0, 0, 1, 1}, Sense: EQ, RHS: 1},
+		},
+		Binary: []bool{true, true, true, true},
+	}
+	sol, err := SolveILP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(sol.Objective, 2) {
+		t.Fatalf("obj=%f, want 2", sol.Objective)
+	}
+}
+
+func TestILPInfeasible(t *testing.T) {
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: GE, RHS: 3}, // binaries can sum to at most 2
+		},
+		Binary: []bool{true, true},
+	}
+	sol, err := SolveILP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status=%v, want infeasible", sol.Status)
+	}
+}
+
+func TestILPIntegralityGap(t *testing.T) {
+	// LP relaxation picks x=0.5s; ILP must find the worse-but-integral
+	// optimum. min -(x+y) s.t. 2x+2y <= 3 -> LP obj -1.5, ILP obj -1.
+	p := &Problem{
+		NumVars:     2,
+		Objective:   []float64{-1, -1},
+		Constraints: []Constraint{{Coeffs: []float64{2, 2}, Sense: LE, RHS: 3}},
+		Binary:      []bool{true, true},
+	}
+	rel, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(rel.Objective, -1.5) {
+		t.Fatalf("relaxation obj=%f, want -1.5", rel.Objective)
+	}
+	sol, err := SolveILP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(sol.Objective, -1) {
+		t.Fatalf("ILP obj=%f, want -1", sol.Objective)
+	}
+}
+
+func TestBruteRequiresBinary(t *testing.T) {
+	p := &Problem{NumVars: 1, Objective: []float64{1}}
+	if _, err := SolveBrute(p); err == nil {
+		t.Fatal("continuous problem accepted by brute solver")
+	}
+}
+
+// Property: on random small binary problems, B&B matches exhaustive search
+// (both status and objective value).
+func TestILPMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(7) // 2..8 variables
+		p := &Problem{
+			NumVars:   n,
+			Objective: make([]float64, n),
+			Binary:    make([]bool, n),
+		}
+		for j := 0; j < n; j++ {
+			p.Objective[j] = float64(rng.Intn(41) - 20)
+			p.Binary[j] = true
+		}
+		nCons := 1 + rng.Intn(4)
+		for c := 0; c < nCons; c++ {
+			co := make([]float64, n)
+			for j := range co {
+				co[j] = float64(rng.Intn(11) - 5)
+			}
+			p.Constraints = append(p.Constraints, Constraint{
+				Coeffs: co,
+				Sense:  Sense(rng.Intn(3)),
+				RHS:    float64(rng.Intn(21) - 10),
+			})
+		}
+		want, err := SolveBrute(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SolveILP(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v (problem %+v)", trial, err, p)
+		}
+		if want.Status != got.Status {
+			t.Fatalf("trial %d: status %v, brute %v (problem %+v)", trial, got.Status, want.Status, p)
+		}
+		if want.Status == Optimal && !almostEq(want.Objective, got.Objective) {
+			t.Fatalf("trial %d: obj %f, brute %f (problem %+v)", trial, got.Objective, want.Objective, p)
+		}
+		// The B&B solution itself must be feasible and integral.
+		if got.Status == Optimal {
+			if !feasible(p, got.X) {
+				t.Fatalf("trial %d: B&B returned infeasible point %v", trial, got.X)
+			}
+			for j, v := range got.X {
+				if math.Abs(v-math.Round(v)) > 1e-6 {
+					t.Fatalf("trial %d: fractional binary x[%d]=%f", trial, j, v)
+				}
+			}
+		}
+	}
+}
+
+// The shape of the real SubZero optimizer problem: per-operator strategy
+// selection with assignment variables and a disk budget (see internal/opt).
+func TestILPStrategySelectionShape(t *testing.T) {
+	// 2 operators x 3 strategies. x[i*3+j]=choice, y in second block.
+	// Query costs q, disk costs d.
+	q := [][]float64{{10, 2, 1}, {8, 3, 0.5}}
+	d := [][]float64{{0, 5, 20}, {0, 4, 30}}
+	budget := 10.0
+	nx := 6
+	p := &Problem{
+		NumVars:   12, // x then y
+		Objective: make([]float64, 12),
+		Binary:    make([]bool, 12),
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			p.Objective[nx+i*3+j] = q[i][j] // query cost via y
+			p.Objective[i*3+j] = 1e-4 * d[i][j]
+			p.Binary[i*3+j] = true
+			p.Binary[nx+i*3+j] = true
+		}
+	}
+	// Σ_j y_ij = 1 per operator; y_ij <= x_ij; disk budget on x.
+	for i := 0; i < 2; i++ {
+		co := make([]float64, 12)
+		for j := 0; j < 3; j++ {
+			co[nx+i*3+j] = 1
+		}
+		p.Constraints = append(p.Constraints, Constraint{Coeffs: co, Sense: EQ, RHS: 1})
+		for j := 0; j < 3; j++ {
+			co2 := make([]float64, 12)
+			co2[nx+i*3+j] = 1
+			co2[i*3+j] = -1
+			p.Constraints = append(p.Constraints, Constraint{Coeffs: co2, Sense: LE, RHS: 0})
+		}
+	}
+	diskCo := make([]float64, 12)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			diskCo[i*3+j] = d[i][j]
+		}
+	}
+	p.Constraints = append(p.Constraints, Constraint{Coeffs: diskCo, Sense: LE, RHS: budget})
+
+	sol, err := SolveILP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status=%v", sol.Status)
+	}
+	// Budget 10 allows one mid-tier strategy each (5+4=9): query cost 2+3.
+	if !almostEq(sol.Objective, 5+1e-4*9) {
+		t.Fatalf("obj=%f, want %f", sol.Objective, 5+1e-4*9)
+	}
+}
+
+func BenchmarkILPOptimizerSized(b *testing.B) {
+	// Typical SubZero instance: 26 operators x 4 strategies would exceed
+	// brute force but is easy for B&B; use 8x3 with a budget.
+	rng := rand.New(rand.NewSource(5))
+	nOps, nStrat := 8, 3
+	n := nOps * nStrat * 2
+	p := &Problem{NumVars: n, Objective: make([]float64, n), Binary: make([]bool, n)}
+	xv := func(i, j int) int { return i*nStrat + j }
+	yv := func(i, j int) int { return nOps*nStrat + i*nStrat + j }
+	diskCo := make([]float64, n)
+	for i := 0; i < nOps; i++ {
+		co := make([]float64, n)
+		for j := 0; j < nStrat; j++ {
+			p.Binary[xv(i, j)] = true
+			p.Binary[yv(i, j)] = true
+			p.Objective[yv(i, j)] = rng.Float64() * 10
+			diskCo[xv(i, j)] = rng.Float64() * 8
+			co[yv(i, j)] = 1
+			co2 := make([]float64, n)
+			co2[yv(i, j)] = 1
+			co2[xv(i, j)] = -1
+			p.Constraints = append(p.Constraints, Constraint{Coeffs: co2, Sense: LE, RHS: 0})
+		}
+		p.Constraints = append(p.Constraints, Constraint{Coeffs: co, Sense: EQ, RHS: 1})
+	}
+	p.Constraints = append(p.Constraints, Constraint{Coeffs: diskCo, Sense: LE, RHS: 20})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveILP(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

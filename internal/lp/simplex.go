@@ -1,0 +1,231 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// simplex solves: minimize c·x subject to cons, x ≥ 0, using the two-phase
+// primal simplex method on a dense tableau with Bland's anti-cycling rule.
+func simplex(numVars int, c []float64, cons []Constraint) (Solution, error) {
+	m := len(cons)
+	// Column layout: [0,numVars) structural, then one slack/surplus per
+	// inequality, then one artificial per GE/EQ (and per LE with negative
+	// RHS after normalization).
+	nSlack := 0
+	for _, con := range cons {
+		if con.Sense != EQ {
+			nSlack++
+		}
+	}
+	// Build rows with RHS normalized to be non-negative.
+	type row struct {
+		coeffs []float64
+		sense  Sense
+		rhs    float64
+	}
+	rows := make([]row, m)
+	for i, con := range cons {
+		r := row{coeffs: make([]float64, numVars), sense: con.Sense, rhs: con.RHS}
+		copy(r.coeffs, con.Coeffs)
+		if r.rhs < 0 {
+			for j := range r.coeffs {
+				r.coeffs[j] = -r.coeffs[j]
+			}
+			r.rhs = -r.rhs
+			switch r.sense {
+			case LE:
+				r.sense = GE
+			case GE:
+				r.sense = LE
+			}
+		}
+		rows[i] = r
+	}
+	// Count artificials: GE and EQ rows need one.
+	nArt := 0
+	for _, r := range rows {
+		if r.sense != LE {
+			nArt++
+		}
+	}
+	total := numVars + nSlack + nArt
+	a := make([][]float64, m)
+	basis := make([]int, m)
+	slackCol := numVars
+	artCol := numVars + nSlack
+	artStart := artCol
+	for i, r := range rows {
+		a[i] = make([]float64, total+1)
+		copy(a[i], r.coeffs)
+		a[i][total] = r.rhs
+		switch r.sense {
+		case LE:
+			a[i][slackCol] = 1
+			basis[i] = slackCol
+			slackCol++
+		case GE:
+			a[i][slackCol] = -1
+			slackCol++
+			a[i][artCol] = 1
+			basis[i] = artCol
+			artCol++
+		case EQ:
+			a[i][artCol] = 1
+			basis[i] = artCol
+			artCol++
+		}
+	}
+
+	t := &tableau{a: a, basis: basis, nCols: total}
+
+	if nArt > 0 {
+		// Phase 1: minimize sum of artificials.
+		phase1 := make([]float64, total)
+		for j := artStart; j < artStart+nArt; j++ {
+			phase1[j] = 1
+		}
+		val, status, err := t.optimize(phase1)
+		if err != nil {
+			return Solution{}, err
+		}
+		if status == Unbounded {
+			return Solution{}, fmt.Errorf("lp: phase-1 unbounded (internal error)")
+		}
+		if val > 1e-6 {
+			return Solution{Status: Infeasible}, nil
+		}
+		// Drive any lingering zero-level artificials out of the basis.
+		for i := range t.basis {
+			if t.basis[i] < artStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < artStart; j++ {
+				if math.Abs(t.a[i][j]) > eps {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: harmless, artificial stays at zero.
+				continue
+			}
+		}
+		// Forbid artificials from re-entering by zeroing their columns.
+		for i := range t.a {
+			for j := artStart; j < artStart+nArt; j++ {
+				t.a[i][j] = 0
+			}
+		}
+	}
+
+	// Phase 2: minimize the real objective.
+	phase2 := make([]float64, total)
+	copy(phase2, c)
+	val, status, err := t.optimize(phase2)
+	if err != nil {
+		return Solution{}, err
+	}
+	if status == Unbounded {
+		return Solution{Status: Unbounded}, nil
+	}
+	x := make([]float64, numVars)
+	for i, bv := range t.basis {
+		if bv < numVars {
+			x[bv] = t.a[i][t.nCols]
+		}
+	}
+	// Clamp tiny negatives from floating-point noise.
+	for j := range x {
+		if x[j] < 0 && x[j] > -1e-9 {
+			x[j] = 0
+		}
+	}
+	return Solution{Status: Optimal, X: x, Objective: val}, nil
+}
+
+type tableau struct {
+	a     [][]float64 // m x (nCols+1); last column is RHS
+	basis []int
+	nCols int
+}
+
+// optimize runs primal simplex iterations for the cost vector c, returning
+// the optimal objective value. Entering variables are chosen by Bland's
+// rule (smallest eligible index), which guarantees termination.
+func (t *tableau) optimize(c []float64) (float64, Status, error) {
+	m := len(t.a)
+	// Reduced-cost row: z[j] = c[j] - Σ_i c[basis[i]]·a[i][j].
+	z := make([]float64, t.nCols+1)
+	copy(z, c)
+	for i := 0; i < m; i++ {
+		cb := c[t.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j <= t.nCols; j++ {
+			z[j] -= cb * t.a[i][j]
+		}
+	}
+	for iter := 0; iter < maxIters; iter++ {
+		// Bland: first column with negative reduced cost.
+		enter := -1
+		for j := 0; j < t.nCols; j++ {
+			if z[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return -z[t.nCols], Optimal, nil
+		}
+		// Ratio test; Bland tie-break on smallest basis variable.
+		leave, best := -1, math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t.a[i][enter] > eps {
+				ratio := t.a[i][t.nCols] / t.a[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave == -1 || t.basis[i] < t.basis[leave])) {
+					leave, best = i, ratio
+				}
+			}
+		}
+		if leave == -1 {
+			return 0, Unbounded, nil
+		}
+		t.pivot(leave, enter)
+		// Update reduced-cost row.
+		factor := z[enter]
+		if factor != 0 {
+			for j := 0; j <= t.nCols; j++ {
+				z[j] -= factor * t.a[leave][j]
+			}
+			z[enter] = 0
+		}
+	}
+	return 0, Optimal, fmt.Errorf("lp: simplex exceeded %d iterations", maxIters)
+}
+
+// pivot makes column j basic in row i.
+func (t *tableau) pivot(i, j int) {
+	p := t.a[i][j]
+	for col := 0; col <= t.nCols; col++ {
+		t.a[i][col] /= p
+	}
+	t.a[i][j] = 1 // exact
+	for r := range t.a {
+		if r == i {
+			continue
+		}
+		f := t.a[r][j]
+		if f == 0 {
+			continue
+		}
+		for col := 0; col <= t.nCols; col++ {
+			t.a[r][col] -= f * t.a[i][col]
+		}
+		t.a[r][j] = 0 // exact
+	}
+	t.basis[i] = j
+}

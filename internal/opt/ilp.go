@@ -1,0 +1,158 @@
+package opt
+
+import (
+	"fmt"
+	"time"
+
+	"subzero/internal/lineage"
+	"subzero/internal/lp"
+	"subzero/internal/workflow"
+)
+
+// Objective scaling: query costs in seconds; disk in megabytes and runtime
+// in seconds enter only through the ε-weighted tiebreak term.
+const (
+	epsTiebreak = 1e-6
+	mb          = 1024 * 1024
+)
+
+// solve builds the strategy-selection ILP, solves it, and decodes the
+// chosen plan.
+func (o *Optimizer) solve(nodes []string, perNode map[string][]Choice, wl *workloadInfo, cons Constraints) (*Report, error) {
+	beta := cons.Beta
+	if beta == 0 {
+		beta = 1
+	}
+
+	// Variable layout: for each node i with J_i candidates,
+	//   x_ij           (selection)
+	//   yB_ij          (backward assignment, if backward queries touch i)
+	//   yF_ij          (forward assignment, if forward queries touch i)
+	type varRef struct{ x, yB, yF int }
+	refs := make(map[string][]varRef, len(nodes))
+	nVars := 0
+	alloc := func() int { v := nVars; nVars++; return v }
+	for _, id := range nodes {
+		cands := perNode[id]
+		rs := make([]varRef, len(cands))
+		for j := range cands {
+			rs[j] = varRef{x: alloc(), yB: -1, yF: -1}
+			if wl.backward[id] > 0 {
+				rs[j].yB = alloc()
+			}
+			if wl.forward[id] > 0 {
+				rs[j].yF = alloc()
+			}
+		}
+		refs[id] = rs
+	}
+
+	prob := &lp.Problem{
+		NumVars:   nVars,
+		Objective: make([]float64, nVars),
+		Binary:    make([]bool, nVars),
+	}
+	for i := range prob.Binary {
+		prob.Binary[i] = true
+	}
+
+	diskCo := make([]float64, nVars)
+	runCo := make([]float64, nVars)
+	for _, id := range nodes {
+		cands := perNode[id]
+		rs := refs[id]
+		pB, pF := wl.pBackward(id), wl.pForward(id)
+		for j, c := range cands {
+			diskMB := float64(c.DiskBytes) / mb
+			runSec := c.Runtime.Seconds()
+			prob.Objective[rs[j].x] = epsTiebreak * (diskMB + beta*runSec)
+			diskCo[rs[j].x] = float64(c.DiskBytes)
+			runCo[rs[j].x] = runSec
+			if rs[j].yB >= 0 {
+				prob.Objective[rs[j].yB] = pB * c.QBackward.Seconds()
+			}
+			if rs[j].yF >= 0 {
+				prob.Objective[rs[j].yF] = pF * c.QForward.Seconds()
+			}
+		}
+		// Every operator keeps at least one strategy.
+		co := make([]float64, nVars)
+		for j := range cands {
+			co[rs[j].x] = 1
+		}
+		prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: co, Sense: lp.GE, RHS: 1})
+		// Assignment: the query processor uses exactly one chosen
+		// strategy per direction (y_ij <= x_ij, Σ_j y_ij = 1).
+		for _, dir := range []func(varRef) int{func(r varRef) int { return r.yB }, func(r varRef) int { return r.yF }} {
+			if dir(rs[0]) < 0 {
+				continue
+			}
+			sum := make([]float64, nVars)
+			for j := range cands {
+				y := dir(rs[j])
+				sum[y] = 1
+				link := make([]float64, nVars)
+				link[y] = 1
+				link[rs[j].x] = -1
+				prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: link, Sense: lp.LE, RHS: 0})
+			}
+			prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: sum, Sense: lp.EQ, RHS: 1})
+		}
+		// User-forced strategies.
+		for _, f := range o.forced[id] {
+			found := false
+			for j, c := range cands {
+				if c.Strategy == f {
+					co := make([]float64, nVars)
+					co[rs[j].x] = 1
+					prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: co, Sense: lp.EQ, RHS: 1})
+					found = true
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("opt: forced strategy %s unavailable for node %s", f, id)
+			}
+		}
+	}
+	if cons.MaxDiskBytes > 0 {
+		prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: diskCo, Sense: lp.LE, RHS: float64(cons.MaxDiskBytes)})
+	}
+	if cons.MaxRuntime > 0 {
+		prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: runCo, Sense: lp.LE, RHS: cons.MaxRuntime.Seconds()})
+	}
+
+	start := time.Now()
+	sol, err := lp.SolveILP(prob)
+	if err != nil {
+		return nil, fmt.Errorf("opt: %w", err)
+	}
+	rep := &Report{
+		Plan:      workflow.Plan{},
+		PerNode:   perNode,
+		Objective: sol.Objective,
+		SolveTime: time.Since(start),
+		Status:    sol.Status,
+	}
+	if sol.Status != lp.Optimal {
+		return rep, fmt.Errorf("opt: ILP %s (constraints too tight?)", sol.Status)
+	}
+	for _, id := range nodes {
+		cands := perNode[id]
+		rs := refs[id]
+		var chosen []lineage.Strategy
+		for j := range cands {
+			if sol.X[rs[j].x] > 0.5 {
+				perNode[id][j].Chosen = true
+				rep.DiskBytes += cands[j].DiskBytes
+				rep.Runtime += cands[j].Runtime
+				if cands[j].Strategy != lineage.StratBlackbox {
+					chosen = append(chosen, cands[j].Strategy)
+				}
+			}
+		}
+		if len(chosen) > 0 {
+			rep.Plan[id] = chosen
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,116 @@
+// Package opt implements SubZero's lineage strategy optimizer (paper
+// §VII): given per-operator statistics from a profiling run, a sample
+// lineage query workload, and user storage/runtime constraints, it chooses
+// the set of storage strategies per operator that minimizes expected
+// workload query cost, by formulating and solving a 0/1 integer program.
+//
+// The formulation follows the paper:
+//
+//	min_x  Σ_i p_i · min_{j | x_ij=1} q_ij  +  ε·Σ_ij (disk_ij + β·run_ij)·x_ij
+//	s.t.   Σ_ij disk_ij·x_ij ≤ MaxDISK
+//	       Σ_ij run_ij·x_ij  ≤ MaxRUNTIME
+//	       ∀i: Σ_j x_ij ≥ 1
+//	       x_ij = 1 for user-forced strategies
+//
+// with one refinement: the min-term is split by query direction, because
+// the query processor picks the cheapest *chosen* strategy per query, and
+// a backward-optimized store answers backward queries cheaply while being
+// useless for forward ones (this is what makes "store both orientations"
+// configurations like the paper's FullBoth/SubZero20 worthwhile). Each
+// min-term is linearized exactly with assignment variables y_ij ≤ x_ij,
+// Σ_j y_ij = 1.
+package opt
+
+import (
+	"fmt"
+	"time"
+
+	"subzero/internal/lineage"
+	"subzero/internal/lp"
+	"subzero/internal/query"
+	"subzero/internal/workflow"
+)
+
+// Constraints are the user-specified resource limits (paper Figure 3:
+// "Constraints" input to the Optimizer).
+type Constraints struct {
+	// MaxDiskBytes bounds total lineage storage; <= 0 means unbounded.
+	MaxDiskBytes int64
+	// MaxRuntime bounds total lineage-capture overhead per workflow run;
+	// <= 0 means unbounded.
+	MaxRuntime time.Duration
+	// Beta weights runtime overhead against disk in the objective's
+	// tiebreak term (paper's β). Zero means 1.0.
+	Beta float64
+}
+
+// Choice records the optimizer's decision and estimates for one strategy.
+type Choice struct {
+	Strategy  lineage.Strategy
+	DiskBytes int64
+	Runtime   time.Duration
+	QBackward time.Duration // est. backward query cost at this operator
+	QForward  time.Duration // est. forward query cost at this operator
+	Chosen    bool
+}
+
+// Report explains an optimization outcome.
+type Report struct {
+	Plan      workflow.Plan
+	PerNode   map[string][]Choice
+	Objective float64
+	DiskBytes int64         // total estimated disk of the chosen plan
+	Runtime   time.Duration // total estimated runtime overhead
+	SolveTime time.Duration
+	Status    lp.Status
+}
+
+// Optimizer chooses lineage strategies for a workflow using statistics
+// from a profiling run.
+type Optimizer struct {
+	run    *workflow.Run
+	stats  *lineage.Collector
+	forced map[string][]lineage.Strategy
+}
+
+// New creates an optimizer over a profiling run. The run should have
+// materialized each instrumented operator's richest supported lineage
+// (e.g., Full plus its payload mode) so volumes and write times are
+// measured rather than guessed; operators without profiled stores fall
+// back to conservative estimates.
+func New(run *workflow.Run, stats *lineage.Collector) *Optimizer {
+	return &Optimizer{run: run, stats: stats, forced: map[string][]lineage.Strategy{}}
+}
+
+// Force pins strategies for a node (paper: "users can manually specify
+// operator specific strategies prior to running the optimizer").
+func (o *Optimizer) Force(nodeID string, strategies ...lineage.Strategy) {
+	o.forced[nodeID] = append(o.forced[nodeID], strategies...)
+}
+
+// Choose solves the strategy-selection ILP for the given sample workload
+// and constraints and returns the plan plus a report.
+func (o *Optimizer) Choose(workload []query.Query, cons Constraints) (*Report, error) {
+	if len(workload) == 0 {
+		return nil, fmt.Errorf("opt: empty sample workload")
+	}
+	nodes, profiles, err := o.profiles()
+	if err != nil {
+		return nil, err
+	}
+	wl := analyzeWorkload(workload)
+
+	// Enumerate candidate strategies with estimates per node.
+	perNode := make(map[string][]Choice, len(nodes))
+	for _, nodeID := range nodes {
+		cands := o.candidates(nodeID, profiles[nodeID], wl)
+		cands = pruneCandidates(cands, wl, o.forced[nodeID], cons)
+		perNode[nodeID] = cands
+	}
+
+	rep, err := o.solve(nodes, perNode, wl, cons)
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

@@ -1,0 +1,416 @@
+// Package rtree implements an in-memory R-tree over integer rectangles.
+//
+// SubZero's FullMany and PayMany encodings store one hash entry per region
+// pair and "create an R-tree on the cells in the hash key to quickly find
+// the entries that intersect with the query" (paper §VI-B). This package is
+// the stdlib-only substitute for the libspatialindex dependency of the
+// original prototype: a Guttman R-tree with quadratic splits for
+// incremental inserts, an STR (sort-tile-recursive) bulk loader used when a
+// lineage store is reopened, and a compact serialization so the index can
+// be persisted beside its store and charged against the storage budget.
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"subzero/internal/grid"
+)
+
+// DefaultMaxEntries is the default node fan-out. Nodes split when they
+// exceed it; the minimum fill is DefaultMaxEntries*minFillRatio.
+const DefaultMaxEntries = 16
+
+const minFillRatio = 0.4
+
+// Item is a rectangle with an opaque identifier (a lineage pair id).
+type Item struct {
+	Rect grid.Rect
+	ID   uint64
+}
+
+type entry struct {
+	rect  grid.Rect
+	child *node // nil in leaves
+	id    uint64
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+// Tree is an R-tree. The zero value is not usable; call New or BulkLoad.
+// Tree is not safe for concurrent mutation; concurrent Search is safe.
+type Tree struct {
+	root       *node
+	rank       int
+	maxEntries int
+	minEntries int
+	size       int
+}
+
+// New creates an empty tree for rectangles of the given rank.
+func New(rank int) *Tree {
+	return NewWithFanout(rank, DefaultMaxEntries)
+}
+
+// NewWithFanout creates an empty tree with a custom node fan-out (>= 4).
+func NewWithFanout(rank, maxEntries int) *Tree {
+	if rank <= 0 {
+		panic(fmt.Sprintf("rtree: invalid rank %d", rank))
+	}
+	if maxEntries < 4 {
+		maxEntries = 4
+	}
+	minEntries := int(float64(maxEntries) * minFillRatio)
+	if minEntries < 2 {
+		minEntries = 2
+	}
+	return &Tree{
+		root:       &node{leaf: true},
+		rank:       rank,
+		maxEntries: maxEntries,
+		minEntries: minEntries,
+	}
+}
+
+// Len returns the number of items in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Rank returns the dimensionality of the indexed rectangles.
+func (t *Tree) Rank() int { return t.rank }
+
+// Insert adds an item to the tree.
+func (t *Tree) Insert(it Item) error {
+	if err := it.Rect.Validate(); err != nil {
+		return err
+	}
+	if it.Rect.Rank() != t.rank {
+		return fmt.Errorf("rtree: rect rank %d, tree rank %d", it.Rect.Rank(), t.rank)
+	}
+	t.insertEntry(entry{rect: it.Rect, id: it.ID})
+	t.size++
+	return nil
+}
+
+func (t *Tree) insertEntry(e entry) {
+	leaf, path := t.chooseLeaf(e.rect)
+	leaf.entries = append(leaf.entries, e)
+	t.adjust(leaf, path)
+}
+
+// chooseLeaf descends to the leaf whose MBR needs least enlargement,
+// recording the path of ancestors for upward adjustment.
+func (t *Tree) chooseLeaf(r grid.Rect) (*node, []*node) {
+	var path []*node
+	n := t.root
+	for !n.leaf {
+		path = append(path, n)
+		best := 0
+		bestEnl, bestArea := math.Inf(1), math.Inf(1)
+		for i := range n.entries {
+			area := rectAreaF(n.entries[i].rect)
+			enl := rectAreaF(n.entries[i].rect.Union(r)) - area
+			if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = i, enl, area
+			}
+		}
+		n = n.entries[best].child
+	}
+	return n, path
+}
+
+// adjust walks from a modified leaf to the root, splitting overflowing
+// nodes and refreshing ancestor MBRs.
+func (t *Tree) adjust(n *node, path []*node) {
+	for {
+		var split *node
+		if len(n.entries) > t.maxEntries {
+			split = t.splitNode(n)
+		}
+		if len(path) == 0 {
+			if split != nil {
+				// Root split: grow the tree.
+				newRoot := &node{leaf: false, entries: []entry{
+					{rect: mbr(n), child: n},
+					{rect: mbr(split), child: split},
+				}}
+				t.root = newRoot
+			}
+			return
+		}
+		parent := path[len(path)-1]
+		path = path[:len(path)-1]
+		for i := range parent.entries {
+			if parent.entries[i].child == n {
+				parent.entries[i].rect = mbr(n)
+				break
+			}
+		}
+		if split != nil {
+			parent.entries = append(parent.entries, entry{rect: mbr(split), child: split})
+		}
+		n = parent
+	}
+}
+
+// splitNode performs Guttman's quadratic split, moving roughly half the
+// entries into a returned sibling node.
+func (t *Tree) splitNode(n *node) *node {
+	ents := n.entries
+	// Pick seeds: the pair wasting the most area if grouped together.
+	si, sj, worst := 0, 1, math.Inf(-1)
+	for i := 0; i < len(ents); i++ {
+		for j := i + 1; j < len(ents); j++ {
+			d := rectAreaF(ents[i].rect.Union(ents[j].rect)) - rectAreaF(ents[i].rect) - rectAreaF(ents[j].rect)
+			if d > worst {
+				si, sj, worst = i, j, d
+			}
+		}
+	}
+	groupA := []entry{ents[si]}
+	groupB := []entry{ents[sj]}
+	rectA, rectB := ents[si].rect, ents[sj].rect
+	rest := make([]entry, 0, len(ents)-2)
+	for k := range ents {
+		if k != si && k != sj {
+			rest = append(rest, ents[k])
+		}
+	}
+	for len(rest) > 0 {
+		// Force assignment if one group must take all remaining entries
+		// to reach minimum fill.
+		if len(groupA)+len(rest) == t.minEntries {
+			groupA = append(groupA, rest...)
+			for _, e := range rest {
+				rectA = rectA.Union(e.rect)
+			}
+			break
+		}
+		if len(groupB)+len(rest) == t.minEntries {
+			groupB = append(groupB, rest...)
+			for _, e := range rest {
+				rectB = rectB.Union(e.rect)
+			}
+			break
+		}
+		// Pick next: entry with greatest preference for one group.
+		bestK, bestDiff := 0, -1.0
+		var bestDA, bestDB float64
+		for k, e := range rest {
+			dA := rectAreaF(rectA.Union(e.rect)) - rectAreaF(rectA)
+			dB := rectAreaF(rectB.Union(e.rect)) - rectAreaF(rectB)
+			diff := math.Abs(dA - dB)
+			if diff > bestDiff {
+				bestK, bestDiff, bestDA, bestDB = k, diff, dA, dB
+			}
+		}
+		e := rest[bestK]
+		rest = append(rest[:bestK], rest[bestK+1:]...)
+		switch {
+		case bestDA < bestDB:
+			groupA = append(groupA, e)
+			rectA = rectA.Union(e.rect)
+		case bestDB < bestDA:
+			groupB = append(groupB, e)
+			rectB = rectB.Union(e.rect)
+		case len(groupA) <= len(groupB):
+			groupA = append(groupA, e)
+			rectA = rectA.Union(e.rect)
+		default:
+			groupB = append(groupB, e)
+			rectB = rectB.Union(e.rect)
+		}
+	}
+	n.entries = groupA
+	return &node{leaf: n.leaf, entries: groupB}
+}
+
+// Search calls fn for every item whose rectangle intersects q, until fn
+// returns false. The traversal order is unspecified.
+func (t *Tree) Search(q grid.Rect, fn func(Item) bool) {
+	if t.size == 0 {
+		return
+	}
+	t.search(t.root, q, fn)
+}
+
+func (t *Tree) search(n *node, q grid.Rect, fn func(Item) bool) bool {
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.rect.Intersects(q) {
+			continue
+		}
+		if n.leaf {
+			if !fn(Item{Rect: e.rect, ID: e.id}) {
+				return false
+			}
+		} else if !t.search(e.child, q, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchPoint calls fn for every item whose rectangle contains the
+// coordinate.
+func (t *Tree) SearchPoint(c grid.Coord, fn func(Item) bool) {
+	t.Search(grid.Rect{Lo: c, Hi: c}, fn)
+}
+
+// Items returns all indexed items in unspecified order.
+func (t *Tree) Items() []Item {
+	out := make([]Item, 0, t.size)
+	var walk func(*node)
+	walk = func(n *node) {
+		for i := range n.entries {
+			if n.leaf {
+				out = append(out, Item{Rect: n.entries[i].rect, ID: n.entries[i].id})
+			} else {
+				walk(n.entries[i].child)
+			}
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Height returns the number of levels (1 for a lone leaf root).
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.entries[0].child {
+		h++
+	}
+	return h
+}
+
+// BulkLoad builds a tree from items using sort-tile-recursive packing,
+// which produces better-clustered nodes than repeated insertion and is used
+// when rebuilding the index for a reopened lineage store.
+func BulkLoad(rank int, items []Item) *Tree {
+	t := New(rank)
+	if len(items) == 0 {
+		return t
+	}
+	ents := make([]entry, len(items))
+	for i, it := range items {
+		ents[i] = entry{rect: it.Rect, id: it.ID}
+	}
+	leaves := tile(ents, 0, rank, t.maxEntries)
+	level := make([]*node, len(leaves))
+	for i, le := range leaves {
+		level[i] = &node{leaf: true, entries: le}
+	}
+	t.size = len(items)
+	// Build upper levels by tiling node MBRs until one node remains.
+	for len(level) > 1 {
+		parentEnts := make([]entry, len(level))
+		for i, n := range level {
+			parentEnts[i] = entry{rect: mbr(n), child: n}
+		}
+		groups := tile(parentEnts, 0, rank, t.maxEntries)
+		next := make([]*node, len(groups))
+		for i, g := range groups {
+			next[i] = &node{leaf: false, entries: g}
+		}
+		level = next
+	}
+	t.root = level[0]
+	return t
+}
+
+// tile recursively sorts entries by successive dimensions and chops them
+// into groups of at most max entries (STR packing).
+func tile(ents []entry, dim, rank, max int) [][]entry {
+	if len(ents) <= max {
+		return [][]entry{ents}
+	}
+	sort.SliceStable(ents, func(i, j int) bool {
+		return center(ents[i].rect, dim) < center(ents[j].rect, dim)
+	})
+	if dim == rank-1 {
+		var groups [][]entry
+		for i := 0; i < len(ents); i += max {
+			end := i + max
+			if end > len(ents) {
+				end = len(ents)
+			}
+			groups = append(groups, ents[i:end:end])
+		}
+		return groups
+	}
+	nGroups := int(math.Ceil(float64(len(ents)) / float64(max)))
+	slabs := int(math.Ceil(math.Pow(float64(nGroups), 1/float64(rank-dim))))
+	if slabs < 1 {
+		slabs = 1
+	}
+	slabSize := int(math.Ceil(float64(len(ents)) / float64(slabs)))
+	var groups [][]entry
+	for i := 0; i < len(ents); i += slabSize {
+		end := i + slabSize
+		if end > len(ents) {
+			end = len(ents)
+		}
+		groups = append(groups, tile(ents[i:end:end], dim+1, rank, max)...)
+	}
+	return groups
+}
+
+func center(r grid.Rect, d int) float64 { return float64(r.Lo[d]+r.Hi[d]) / 2 }
+
+func mbr(n *node) grid.Rect {
+	r := n.entries[0].rect
+	for i := 1; i < len(n.entries); i++ {
+		r = r.Union(n.entries[i].rect)
+	}
+	return r
+}
+
+func rectAreaF(r grid.Rect) float64 {
+	a := 1.0
+	for d := range r.Lo {
+		a *= float64(r.Hi[d] - r.Lo[d] + 1)
+	}
+	return a
+}
+
+// CheckInvariants validates structural invariants (every child MBR is
+// contained in its parent entry rect, leaf depth uniform, fill bounds).
+// Used by tests.
+func (t *Tree) CheckInvariants() error {
+	depth := -1
+	var walk func(n *node, level int, root bool) error
+	walk = func(n *node, level int, root bool) error {
+		if !root && (len(n.entries) < t.minEntries || len(n.entries) > t.maxEntries) {
+			// Bulk-loaded trees may have one under-filled trailing node
+			// per level; allow >=1 instead of strict minimum.
+			if len(n.entries) < 1 || len(n.entries) > t.maxEntries {
+				return fmt.Errorf("rtree: node fill %d outside [1,%d]", len(n.entries), t.maxEntries)
+			}
+		}
+		if n.leaf {
+			if depth == -1 {
+				depth = level
+			} else if depth != level {
+				return fmt.Errorf("rtree: leaves at depths %d and %d", depth, level)
+			}
+			return nil
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			if e.child == nil {
+				return fmt.Errorf("rtree: internal entry without child")
+			}
+			if !e.rect.Equal(mbr(e.child)) {
+				return fmt.Errorf("rtree: stale MBR %v for child MBR %v", e.rect, mbr(e.child))
+			}
+			if err := walk(e.child, level+1, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root, 0, true)
+}

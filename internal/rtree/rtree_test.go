@@ -1,0 +1,299 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"subzero/internal/grid"
+)
+
+func randRect(rng *rand.Rand, universe, maxExt int) grid.Rect {
+	lo := grid.Coord{rng.Intn(universe), rng.Intn(universe)}
+	return grid.Rect{
+		Lo: lo,
+		Hi: grid.Coord{lo[0] + rng.Intn(maxExt), lo[1] + rng.Intn(maxExt)},
+	}
+}
+
+// bruteSearch is the reference implementation: a linear scan.
+func bruteSearch(items []Item, q grid.Rect) map[uint64]bool {
+	out := map[uint64]bool{}
+	for _, it := range items {
+		if it.Rect.Intersects(q) {
+			out[it.ID] = true
+		}
+	}
+	return out
+}
+
+func treeSearch(t *Tree, q grid.Rect) map[uint64]bool {
+	out := map[uint64]bool{}
+	t.Search(q, func(it Item) bool {
+		out[it.ID] = true
+		return true
+	})
+	return out
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(2)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatal("empty tree wrong shape")
+	}
+	found := false
+	tr.Search(grid.Rect{Lo: grid.Coord{0, 0}, Hi: grid.Coord{10, 10}}, func(Item) bool {
+		found = true
+		return true
+	})
+	if found {
+		t.Fatal("empty tree returned items")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tr := New(2)
+	if err := tr.Insert(Item{Rect: grid.Rect{Lo: grid.Coord{5, 5}, Hi: grid.Coord{1, 1}}}); err == nil {
+		t.Fatal("inverted rect accepted")
+	}
+	if err := tr.Insert(Item{Rect: grid.Rect{Lo: grid.Coord{1}, Hi: grid.Coord{2}}}); err == nil {
+		t.Fatal("rank-mismatched rect accepted")
+	}
+}
+
+func TestInsertSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := New(2)
+	var items []Item
+	for i := 0; i < 2000; i++ {
+		it := Item{Rect: randRect(rng, 500, 20), ID: uint64(i)}
+		items = append(items, it)
+		if err := tr.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 2000 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 100; q++ {
+		query := randRect(rng, 500, 60)
+		want := bruteSearch(items, query)
+		got := treeSearch(tr, query)
+		if len(got) != len(want) {
+			t.Fatalf("query %v: got %d items, want %d", query, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("query %v: missing id %d", query, id)
+			}
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := New(2)
+	for i := 0; i < 100; i++ {
+		_ = tr.Insert(Item{Rect: grid.RectOf(grid.Coord{i, i}), ID: uint64(i)})
+	}
+	n := 0
+	tr.Search(grid.Rect{Lo: grid.Coord{0, 0}, Hi: grid.Coord{99, 99}}, func(Item) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestSearchPoint(t *testing.T) {
+	tr := New(2)
+	_ = tr.Insert(Item{Rect: grid.Rect{Lo: grid.Coord{0, 0}, Hi: grid.Coord{10, 10}}, ID: 1})
+	_ = tr.Insert(Item{Rect: grid.Rect{Lo: grid.Coord{20, 20}, Hi: grid.Coord{30, 30}}, ID: 2})
+	got := map[uint64]bool{}
+	tr.SearchPoint(grid.Coord{5, 5}, func(it Item) bool {
+		got[it.ID] = true
+		return true
+	})
+	if !got[1] || got[2] {
+		t.Fatalf("point search got %v", got)
+	}
+}
+
+func TestBulkLoadMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{0, 1, 15, 16, 17, 300, 5000} {
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{Rect: randRect(rng, 400, 10), ID: uint64(i)}
+		}
+		tr := BulkLoad(2, items)
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, tr.Len())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for q := 0; q < 30; q++ {
+			query := randRect(rng, 400, 50)
+			want := bruteSearch(items, query)
+			got := treeSearch(tr, query)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d query %v: got %d, want %d", n, query, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestBulkLoad1D(t *testing.T) {
+	items := make([]Item, 200)
+	for i := range items {
+		items[i] = Item{Rect: grid.Rect{Lo: grid.Coord{i * 3}, Hi: grid.Coord{i*3 + 1}}, ID: uint64(i)}
+	}
+	tr := BulkLoad(1, items)
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := treeSearch(tr, grid.Rect{Lo: grid.Coord{10}, Hi: grid.Coord{20}})
+	want := bruteSearch(items, grid.Rect{Lo: grid.Coord{10}, Hi: grid.Coord{20}})
+	if len(got) != len(want) {
+		t.Fatalf("1d search got %d, want %d", len(got), len(want))
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	items := make([]Item, 500)
+	for i := range items {
+		items[i] = Item{Rect: randRect(rng, 300, 12), ID: uint64(i * 7)}
+	}
+	orig := BulkLoad(2, items)
+	dec, err := Decode(orig.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Len() != orig.Len() {
+		t.Fatalf("decoded Len=%d, want %d", dec.Len(), orig.Len())
+	}
+	if err := dec.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 50; q++ {
+		query := randRect(rng, 300, 40)
+		a, b := treeSearch(orig, query), treeSearch(dec, query)
+		if len(a) != len(b) {
+			t.Fatalf("query %v: orig %d, decoded %d", query, len(a), len(b))
+		}
+		for id := range a {
+			if !b[id] {
+				t.Fatalf("query %v: decoded missing %d", query, id)
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("nil input accepted")
+	}
+	enc := BulkLoad(2, []Item{{Rect: grid.RectOf(grid.Coord{1, 2}), ID: 9}}).Encode()
+	if _, err := Decode(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+}
+
+func TestEncodedLenIsUpperBoundIsh(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	items := make([]Item, 300)
+	for i := range items {
+		items[i] = Item{Rect: randRect(rng, 1000, 8), ID: uint64(i)}
+	}
+	tr := BulkLoad(2, items)
+	actual := len(tr.Encode())
+	est := tr.EncodedLen()
+	if est < actual {
+		t.Fatalf("EncodedLen=%d underestimates actual %d", est, actual)
+	}
+	if est > actual*2 {
+		t.Fatalf("EncodedLen=%d wildly overestimates actual %d", est, actual)
+	}
+}
+
+// Property: tree search equals brute force for random workloads, both for
+// incremental inserts and bulk load.
+func TestQuickSearchEquivalence(t *testing.T) {
+	f := func(seed int64, nItems uint8, queries [4][4]uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nItems)
+		items := make([]Item, n)
+		tr := New(2)
+		for i := range items {
+			items[i] = Item{Rect: randRect(rng, 100, 10), ID: uint64(i)}
+			if err := tr.Insert(items[i]); err != nil {
+				return false
+			}
+		}
+		bl := BulkLoad(2, items)
+		for _, q := range queries {
+			query := grid.Rect{
+				Lo: grid.Coord{int(q[0]) % 100, int(q[1]) % 100},
+				Hi: grid.Coord{int(q[0])%100 + int(q[2])%30, int(q[1])%100 + int(q[3])%30},
+			}
+			want := bruteSearch(items, query)
+			if got := treeSearch(tr, query); len(got) != len(want) {
+				return false
+			}
+			if got := treeSearch(bl, query); len(got) != len(want) {
+				return false
+			}
+		}
+		return tr.CheckInvariants() == nil && bl.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rects := make([]Item, b.N)
+	for i := range rects {
+		rects[i] = Item{Rect: randRect(rng, 2000, 8), ID: uint64(i)}
+	}
+	tr := New(2)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Insert(rects[i])
+	}
+}
+
+func BenchmarkSearch10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	items := make([]Item, 10000)
+	for i := range items {
+		items[i] = Item{Rect: randRect(rng, 2000, 8), ID: uint64(i)}
+	}
+	tr := BulkLoad(2, items)
+	q := grid.Rect{Lo: grid.Coord{500, 500}, Hi: grid.Coord{520, 520}}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Search(q, func(Item) bool { return true })
+	}
+}
+
+func BenchmarkBulkLoad10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	items := make([]Item, 10000)
+	for i := range items {
+		items[i] = Item{Rect: randRect(rng, 2000, 8), ID: uint64(i)}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BulkLoad(2, items)
+	}
+}

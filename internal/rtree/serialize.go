@@ -1,0 +1,76 @@
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"subzero/internal/binenc"
+)
+
+// Encode serializes the tree's items (rank, count, then rect+id per item).
+// Decoding bulk-loads a fresh tree, so node structure need not be
+// preserved; this keeps the format trivially forward-compatible and lets a
+// reopened store regain a well-packed index.
+func (t *Tree) Encode() []byte {
+	items := t.Items()
+	buf := make([]byte, 0, 16+len(items)*12)
+	buf = binary.AppendUvarint(buf, uint64(t.rank))
+	buf = binary.AppendUvarint(buf, uint64(len(items)))
+	for _, it := range items {
+		buf = binenc.AppendRect(buf, it.Rect)
+		buf = binary.AppendUvarint(buf, it.ID)
+	}
+	return buf
+}
+
+// Decode reconstructs a tree from Encode output via STR bulk load.
+func Decode(data []byte) (*Tree, error) {
+	rank, read := binary.Uvarint(data)
+	if read <= 0 || rank == 0 || rank > 64 {
+		return nil, fmt.Errorf("rtree: bad encoded rank")
+	}
+	off := read
+	count, read := binary.Uvarint(data[off:])
+	if read <= 0 {
+		return nil, fmt.Errorf("rtree: truncated item count")
+	}
+	off += read
+	items := make([]Item, 0, count)
+	for i := uint64(0); i < count; i++ {
+		r, n, err := binenc.DecodeRect(data[off:])
+		if err != nil {
+			return nil, fmt.Errorf("rtree: item %d: %w", i, err)
+		}
+		off += n
+		id, read := binary.Uvarint(data[off:])
+		if read <= 0 {
+			return nil, fmt.Errorf("rtree: truncated item %d id", i)
+		}
+		off += read
+		items = append(items, Item{Rect: r, ID: id})
+	}
+	return BulkLoad(int(rank), items), nil
+}
+
+// EncodedLen estimates the serialized size without materializing it; the
+// cost model charges this against the storage budget for *Many encodings.
+func (t *Tree) EncodedLen() int {
+	n := 10
+	for _, it := range t.Items() {
+		n += 2 // rank varint + id varint lower bound
+		for d := range it.Rect.Lo {
+			n += uvarintLen(uint64(it.Rect.Lo[d])) + uvarintLen(uint64(it.Rect.Hi[d]-it.Rect.Lo[d]))
+		}
+		n += uvarintLen(it.ID)
+	}
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

@@ -1,0 +1,344 @@
+package workflow
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"subzero/internal/array"
+	"subzero/internal/grid"
+	"subzero/internal/kvstore"
+	"subzero/internal/lineage"
+)
+
+// Plan assigns each node the lineage strategies it stores — the output of
+// the strategy optimizer (or a hand-picked configuration such as the
+// paper's Table II rows). Nodes absent from the plan default to Blackbox.
+type Plan map[string][]lineage.Strategy
+
+// Strategies returns the node's assigned strategies (Blackbox by default).
+func (p Plan) Strategies(nodeID string) []lineage.Strategy {
+	if s, ok := p[nodeID]; ok && len(s) > 0 {
+		return s
+	}
+	return []lineage.Strategy{lineage.StratBlackbox}
+}
+
+// ErrNoTracing is returned by Run.Reexecute when the operator supports
+// only Blackbox lineage: it cannot emit region pairs even in tracing mode,
+// so the caller must assume an all-to-all relationship (paper §IV: "If the
+// API is not used, then SubZero assumes an all-to-all relationship").
+var ErrNoTracing = errors.New("workflow: operator does not support tracing mode")
+
+// Executor runs workflow specifications with lineage capture. It owns the
+// versioned array store (inputs, intermediates, outputs), the kvstore
+// manager providing per-operator lineage datastores, and the statistics
+// collector feeding the optimizer.
+type Executor struct {
+	versions *array.Versions
+	manager  *kvstore.Manager
+	stats    *lineage.Collector
+	runSeq   int
+}
+
+// NewExecutor creates an executor.
+func NewExecutor(versions *array.Versions, manager *kvstore.Manager, stats *lineage.Collector) *Executor {
+	return &Executor{versions: versions, manager: manager, stats: stats}
+}
+
+// Versions exposes the executor's no-overwrite array store.
+func (e *Executor) Versions() *array.Versions { return e.versions }
+
+// Stats exposes the statistics collector.
+func (e *Executor) Stats() *lineage.Collector { return e.stats }
+
+// Run is one executed workflow instance: its resolved inputs, outputs, and
+// lineage stores, with everything needed to re-run any operator in tracing
+// mode.
+type Run struct {
+	ID   string
+	Spec *Spec
+	Plan Plan
+
+	inputs  map[string][]*array.Array
+	outputs map[string]*array.Array
+	stores  map[string][]*lineage.Store
+	mapCtxs map[string]*MapCtx
+
+	// Elapsed is total workflow wall-clock time; LineageOverhead is the
+	// part spent inside the lwrite API and store flushes.
+	Elapsed         time.Duration
+	LineageOverhead time.Duration
+
+	stats *lineage.Collector
+}
+
+// Execute runs the workflow over the named source arrays under the given
+// strategy plan. Source arrays are registered in the versioned store, as
+// are all intermediate and final outputs.
+func (e *Executor) Execute(spec *Spec, plan Plan, sources map[string]*array.Array) (*Run, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if plan == nil {
+		plan = Plan{}
+	}
+	order, err := spec.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	e.runSeq++
+	run := &Run{
+		ID:      fmt.Sprintf("%s-run%03d", spec.Name, e.runSeq),
+		Spec:    spec,
+		Plan:    plan,
+		inputs:  make(map[string][]*array.Array),
+		outputs: make(map[string]*array.Array),
+		stores:  make(map[string][]*lineage.Store),
+		mapCtxs: make(map[string]*MapCtx),
+		stats:   e.stats,
+	}
+	for name, src := range sources {
+		e.versions.Put(src.WithName(name))
+	}
+	start := time.Now()
+	for _, node := range order {
+		if err := e.runNode(run, node, sources); err != nil {
+			return nil, fmt.Errorf("workflow: node %q: %w", node.ID, err)
+		}
+	}
+	run.Elapsed = time.Since(start)
+	return run, nil
+}
+
+func (e *Executor) runNode(run *Run, node *Node, sources map[string]*array.Array) error {
+	ins, err := e.resolveInputs(run, node, sources)
+	if err != nil {
+		return err
+	}
+	inShapes := make([]grid.Shape, len(ins))
+	inSpaces := make([]*grid.Space, len(ins))
+	for i, a := range ins {
+		inShapes[i] = a.Shape()
+		inSpaces[i] = a.Space()
+	}
+	outShape, err := node.Op.OutShape(inShapes)
+	if err != nil {
+		return err
+	}
+	outSpace := grid.NewSpace(outShape)
+
+	// Open stores for every pair-materializing strategy.
+	var fullStores, payStores []*lineage.Store
+	var modes lineage.ModeSet
+	for _, strat := range run.Plan.Strategies(node.ID) {
+		if err := strat.Validate(); err != nil {
+			return err
+		}
+		if !Supports(node.Op, strat.Mode) {
+			return fmt.Errorf("operator %s does not support %s lineage", node.Op.Name(), strat.Mode)
+		}
+		if !strat.StoresPairs() {
+			continue
+		}
+		ns := fmt.Sprintf("%s/%s/%s", run.ID, node.ID, strat.ID())
+		kv, err := e.manager.Open(ns)
+		if err != nil {
+			return err
+		}
+		st, err := lineage.OpenStore(kv, strat, outSpace, inSpaces)
+		if err != nil {
+			return err
+		}
+		run.stores[node.ID] = append(run.stores[node.ID], st)
+		switch strat.Mode {
+		case lineage.Full:
+			fullStores = append(fullStores, st)
+		default: // Pay, Comp
+			payStores = append(payStores, st)
+		}
+		modes = modes.With(strat.Mode)
+	}
+
+	var writer *lineage.Writer
+	if len(fullStores) > 0 || len(payStores) > 0 {
+		writer = lineage.NewWriter(outSpace, inSpaces, fullStores, payStores, nil)
+	}
+	rc := NewRunCtx(modes, writer)
+
+	start := time.Now()
+	out, err := node.Op.Run(rc, ins)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return fmt.Errorf("operator %s returned no output", node.Op.Name())
+	}
+	if !out.Shape().Equal(outShape) {
+		return fmt.Errorf("operator %s produced shape %v, declared %v", node.Op.Name(), out.Shape(), outShape)
+	}
+	var lineageTime time.Duration
+	var pairs, outCells, inCells, payloadBytes int64
+	if writer != nil {
+		if err := writer.Flush(); err != nil {
+			return err
+		}
+		lineageTime = writer.Elapsed()
+		for _, st := range run.stores[node.ID] {
+			ss := st.Stats()
+			pairs = max64(pairs, int64(ss.Pairs))
+			outCells = max64(outCells, ss.OutCells)
+			inCells = max64(inCells, ss.InCells)
+			payloadBytes = max64(payloadBytes, ss.PayloadBytes)
+		}
+	}
+	elapsed := time.Since(start)
+	run.LineageOverhead += lineageTime
+	execTime := elapsed - lineageTime
+	if execTime < 0 {
+		execTime = 0
+	}
+	e.stats.RecordRun(node.ID, execTime, lineageTime, pairs, outCells, inCells, payloadBytes)
+
+	run.inputs[node.ID] = ins
+	run.outputs[node.ID] = out
+	run.mapCtxs[node.ID] = NewMapCtx(outSpace, inSpaces)
+	e.versions.Put(out.WithName(run.ID + "/" + node.ID))
+	return nil
+}
+
+func (e *Executor) resolveInputs(run *Run, node *Node, sources map[string]*array.Array) ([]*array.Array, error) {
+	ins := make([]*array.Array, len(node.Inputs))
+	for i, in := range node.Inputs {
+		switch {
+		case in.Node != "":
+			out, ok := run.outputs[in.Node]
+			if !ok {
+				return nil, fmt.Errorf("input %d: node %q has not produced output", i, in.Node)
+			}
+			ins[i] = out
+		default:
+			src, ok := sources[in.External]
+			if !ok {
+				// Fall back to the versioned store for arrays produced
+				// by earlier runs.
+				a, err := e.versions.Latest(in.External)
+				if err != nil {
+					return nil, fmt.Errorf("input %d: unknown source %q", i, in.External)
+				}
+				src = a
+			}
+			ins[i] = src
+		}
+	}
+	return ins, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Output returns the output array of a node in this run.
+func (r *Run) Output(nodeID string) (*array.Array, error) {
+	out, ok := r.outputs[nodeID]
+	if !ok {
+		return nil, fmt.Errorf("workflow: no output recorded for node %q", nodeID)
+	}
+	return out, nil
+}
+
+// Inputs returns the resolved input arrays of a node in this run.
+func (r *Run) Inputs(nodeID string) ([]*array.Array, error) {
+	ins, ok := r.inputs[nodeID]
+	if !ok {
+		return nil, fmt.Errorf("workflow: no inputs recorded for node %q", nodeID)
+	}
+	return ins, nil
+}
+
+// Stores returns the lineage stores materialized for a node (nil for
+// Blackbox/Map-only nodes).
+func (r *Run) Stores(nodeID string) []*lineage.Store { return r.stores[nodeID] }
+
+// MapCtx returns the node's mapping-function context.
+func (r *Run) MapCtx(nodeID string) (*MapCtx, error) {
+	mc, ok := r.mapCtxs[nodeID]
+	if !ok {
+		return nil, fmt.Errorf("workflow: no context for node %q", nodeID)
+	}
+	return mc, nil
+}
+
+// Strategies returns the node's assigned strategies.
+func (r *Run) Strategies(nodeID string) []lineage.Strategy { return r.Plan.Strategies(nodeID) }
+
+// LineageBytes sums the storage footprint of every lineage store in the
+// run — the disk-overhead quantity of Figures 5(a), 6(a), 7(a).
+func (r *Run) LineageBytes() int64 {
+	var total int64
+	for _, stores := range r.stores {
+		for _, st := range stores {
+			total += st.SizeBytes()
+		}
+	}
+	return total
+}
+
+// Reexecute re-runs a node in tracing mode (cur_modes = {Full}), streaming
+// every region pair to sink instead of storing it — black-box lineage
+// resolution (paper §V-B). The sink may return lineage.ErrAborted (wrapped)
+// to stop early; Reexecute propagates it.
+func (r *Run) Reexecute(nodeID string, sink func(*lineage.RegionPair) error) (time.Duration, error) {
+	node := r.Spec.Node(nodeID)
+	if node == nil {
+		return 0, fmt.Errorf("workflow: unknown node %q", nodeID)
+	}
+	if !Supports(node.Op, lineage.Full) {
+		return 0, ErrNoTracing
+	}
+	ins, err := r.Inputs(nodeID)
+	if err != nil {
+		return 0, err
+	}
+	mc, err := r.MapCtx(nodeID)
+	if err != nil {
+		return 0, err
+	}
+	writer := lineage.NewWriter(mc.OutSpace, mc.InSpaces, nil, nil, sink)
+	rc := NewRunCtx(lineage.NewModeSet(lineage.Full), writer)
+	start := time.Now()
+	if _, err := node.Op.Run(rc, ins); err != nil {
+		return time.Since(start), err
+	}
+	if err := writer.Flush(); err != nil {
+		return time.Since(start), err
+	}
+	return time.Since(start), nil
+}
+
+// EmitMappedPairs is a helper for mapping operators running in tracing
+// mode: it synthesizes one region pair per output cell from the operator's
+// map_b. Built-in operators call it from Run when cur_modes includes Full,
+// which is exactly what black-box re-execution requests.
+func EmitMappedPairs(rc *RunCtx, mc *MapCtx, op BackwardMapper) error {
+	nIn := len(mc.InSpaces)
+	ins := make([][]uint64, nIn)
+	outBuf := make([]uint64, 1)
+	for idx := uint64(0); idx < mc.OutSpace.Size(); idx++ {
+		outBuf[0] = idx
+		for i := 0; i < nIn; i++ {
+			ins[i] = op.MapB(mc, idx, i, ins[i][:0])
+		}
+		if err := rc.LWrite(outBuf, ins...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Manager returns the kvstore manager (for size accounting in tests and
+// benchmarks).
+func (e *Executor) Manager() *kvstore.Manager { return e.manager }

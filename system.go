@@ -1,0 +1,205 @@
+package subzero
+
+import (
+	"fmt"
+	"math"
+
+	"subzero/internal/array"
+	"subzero/internal/kvstore"
+	"subzero/internal/lineage"
+	"subzero/internal/ops"
+	"subzero/internal/opt"
+	"subzero/internal/query"
+	"subzero/internal/workflow"
+)
+
+// System wires together SubZero's components (paper Figure 3): the
+// workflow executor, the versioned array store, per-operator lineage
+// datastores, the statistics collector, the lineage query executor, and
+// the strategy optimizer.
+type System struct {
+	versions *array.Versions
+	manager  *kvstore.Manager
+	stats    *lineage.Collector
+	exec     *workflow.Executor
+	qopts    query.Options
+}
+
+// Option configures a System.
+type Option func(*config)
+
+type config struct {
+	storageDir string
+	qopts      query.Options
+}
+
+// WithStorageDir stores lineage in log-structured files under dir; the
+// default keeps lineage stores in memory.
+func WithStorageDir(dir string) Option {
+	return func(c *config) { c.storageDir = dir }
+}
+
+// WithQueryOptions sets the default query-executor options.
+func WithQueryOptions(o QueryOptions) Option {
+	return func(c *config) { c.qopts = o }
+}
+
+// NewSystem creates a SubZero instance.
+func NewSystem(options ...Option) (*System, error) {
+	cfg := config{qopts: query.DefaultOptions()}
+	for _, o := range options {
+		o(&cfg)
+	}
+	mgr, err := kvstore.NewManager(cfg.storageDir)
+	if err != nil {
+		return nil, err
+	}
+	versions := array.NewVersions()
+	stats := lineage.NewCollector()
+	return &System{
+		versions: versions,
+		manager:  mgr,
+		stats:    stats,
+		exec:     workflow.NewExecutor(versions, mgr, stats),
+		qopts:    cfg.qopts,
+	}, nil
+}
+
+// Execute runs a workflow under the given lineage strategy plan (nil
+// means black-box everywhere). Source arrays are registered in the
+// no-overwrite versioned store along with every intermediate result.
+func (s *System) Execute(spec *Spec, plan Plan, sources map[string]*Array) (*Run, error) {
+	return s.exec.Execute(spec, plan, sources)
+}
+
+// Query executes a lineage query against a run using the system's default
+// query options.
+func (s *System) Query(run *Run, q Query) (*QueryResult, error) {
+	return s.QueryWith(run, q, s.qopts)
+}
+
+// QueryWith executes a lineage query with explicit options.
+func (s *System) QueryWith(run *Run, q Query, opts QueryOptions) (*QueryResult, error) {
+	return query.New(run, s.stats, opts).Execute(q)
+}
+
+// Optimize runs the lineage strategy optimizer against a profiling run: it
+// returns the plan minimizing the sample workload's expected query cost
+// within the constraints. Re-run the workflow under report.Plan to apply
+// it.
+func (s *System) Optimize(run *Run, workload []Query, cons Constraints) (*OptimizeReport, error) {
+	return opt.New(run, s.stats).Choose(workload, cons)
+}
+
+// OptimizeForced is Optimize with user-pinned strategies per node (paper
+// §VII: "users can manually specify operator specific strategies").
+func (s *System) OptimizeForced(run *Run, workload []Query, cons Constraints, forced map[string][]Strategy) (*OptimizeReport, error) {
+	o := opt.New(run, s.stats)
+	for node, strategies := range forced {
+		o.Force(node, strategies...)
+	}
+	return o.Choose(workload, cons)
+}
+
+// Stats returns the statistics collector's per-operator data.
+func (s *System) Stats(nodeID string) OpStats { return s.stats.Get(nodeID) }
+
+// AllStats returns statistics for every operator seen.
+func (s *System) AllStats() []OpStats { return s.stats.All() }
+
+// LineageBytes returns the total storage held by all lineage stores.
+func (s *System) LineageBytes() int64 { return s.manager.TotalBytes() }
+
+// ArrayBytes returns the footprint of the versioned array store.
+func (s *System) ArrayBytes() int64 { return s.versions.TotalBytes() }
+
+// Versions exposes the no-overwrite array store.
+func (s *System) Versions() *array.Versions { return s.versions }
+
+// Close releases all lineage stores.
+func (s *System) Close() error { return s.manager.Close() }
+
+// ---------------------------------------------------------------------
+// Built-in operator constructors (the instrumented SciDB-style operator
+// library; all are mapping operators supporting Map and Full lineage).
+// ---------------------------------------------------------------------
+
+// UnaryOp applies fn cell-wise; output (c) depends on input (c).
+func UnaryOp(name string, fn func(float64) float64) Operator { return ops.NewUnary(name, fn) }
+
+// BinaryOp combines two same-shaped arrays cell-wise.
+func BinaryOp(name string, fn func(a, b float64) float64) Operator { return ops.NewBinary(name, fn) }
+
+// BroadcastOp combines input 0 cell-wise with the single cell of input 1.
+func BroadcastOp(name string, fn func(x, scalar float64) float64) Operator {
+	return ops.NewBroadcast(name, fn)
+}
+
+// TransposeOp swaps the dimensions of a matrix.
+func TransposeOp() Operator { return ops.NewTranspose() }
+
+// MatMulOp multiplies two matrices.
+func MatMulOp() Operator { return ops.NewMatMul() }
+
+// ConvolveOp convolves a matrix with a square odd-extent kernel.
+func ConvolveOp(name string, kernel [][]float64) (Operator, error) {
+	return ops.NewConvolve2D(name, kernel)
+}
+
+// MeanAllOp reduces the whole array to its mean (an all-to-all operator
+// eligible for the entire-array optimization).
+func MeanAllOp() Operator { return ops.NewMeanAll() }
+
+// StdAllOp reduces the whole array to its standard deviation.
+func StdAllOp() Operator { return ops.NewStdAll() }
+
+// MaxAllOp reduces the whole array to its maximum.
+func MaxAllOp() Operator { return ops.NewMaxAll() }
+
+// ColMeanOp reduces each column of a matrix to its mean.
+func ColMeanOp() Operator { return ops.NewColMean() }
+
+// ColReduceOp reduces each column with a custom function.
+func ColReduceOp(name string, fn func(col []float64) float64) Operator {
+	return ops.NewColReduce(name, fn)
+}
+
+// ColCenterOp combines each cell of input 0 with its column's statistic
+// from input 1 (shaped 1×n).
+func ColCenterOp(name string, fn func(x, stat float64) float64) Operator {
+	return ops.NewColCenter(name, fn)
+}
+
+// SliceOp extracts a rectangular window.
+func SliceOp(name string, window Rect) (Operator, error) { return ops.NewSliceRect(name, window) }
+
+// SubsampleOp keeps every stride-th cell along each dimension.
+func SubsampleOp(stride int) (Operator, error) { return ops.NewSubsample(stride) }
+
+// ConcatOp concatenates two arrays along an axis.
+func ConcatOp(axis int) Operator { return ops.NewConcat(axis) }
+
+// StandardKernels returns commonly used convolution kernels by name
+// ("gaussian3", "box3", "identity3").
+func StandardKernels(name string) ([][]float64, error) {
+	switch name {
+	case "gaussian3":
+		return [][]float64{
+			{1.0 / 16, 2.0 / 16, 1.0 / 16},
+			{2.0 / 16, 4.0 / 16, 2.0 / 16},
+			{1.0 / 16, 2.0 / 16, 1.0 / 16},
+		}, nil
+	case "box3":
+		k := make([][]float64, 3)
+		for i := range k {
+			k[i] = []float64{1.0 / 9, 1.0 / 9, 1.0 / 9}
+		}
+		return k, nil
+	case "identity3":
+		return [][]float64{{0, 0, 0}, {0, 1, 0}, {0, 0, 0}}, nil
+	}
+	return nil, fmt.Errorf("subzero: unknown kernel %q", name)
+}
+
+// MB is a convenience for storage constraints.
+func MB(n float64) int64 { return int64(math.Round(n * 1024 * 1024)) }
