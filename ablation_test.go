@@ -5,6 +5,7 @@
 package subzero_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -32,7 +33,7 @@ func BenchmarkAblationPayloadForm(b *testing.B) {
 			cfg.PayloadCells = cells
 			var bytes int64
 			for i := 0; i < b.N; i++ {
-				res, err := microbench.Run(cfg, "<-PayOne", "")
+				res, err := microbench.Run(context.Background(), cfg, "<-PayOne", "")
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -55,7 +56,7 @@ func BenchmarkAblationEncodingCrossover(b *testing.B) {
 				cfg.Fanin, cfg.Fanout = 8, fanout
 				var bytes int64
 				for i := 0; i < b.N; i++ {
-					res, err := microbench.Run(cfg, strat, "")
+					res, err := microbench.Run(context.Background(), cfg, strat, "")
 					if err != nil {
 						b.Fatal(err)
 					}

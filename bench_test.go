@@ -10,6 +10,7 @@
 package subzero_test
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -66,7 +67,7 @@ func prepareAstro(b *testing.B, strategy string) (*subzero.System, *subzero.Run,
 	if err != nil {
 		b.Fatal(err)
 	}
-	run, err := sys.Execute(spec, plan, map[string]*subzero.Array{
+	run, err := sys.Execute(context.Background(), spec, plan, map[string]*subzero.Array{
 		"img1": sky.Exposure1, "img2": sky.Exposure2,
 	})
 	if err != nil {
@@ -87,7 +88,7 @@ func BenchmarkFig5aAstroOverhead(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var lineageBytes int64
 			for i := 0; i < b.N; i++ {
-				res, err := astro.RunStrategy(name, astroCfg(), "")
+				res, err := astro.RunStrategy(context.Background(), name, astroCfg(), "")
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -112,7 +113,7 @@ func BenchmarkFig5bAstroQueries(b *testing.B) {
 			}
 			b.Run(fmt.Sprintf("%s/%s", name, qn), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := sys.QueryWith(run, q, opts); err != nil {
+					if _, err := sys.QueryWith(context.Background(), run, q, opts); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -141,7 +142,7 @@ func prepareGenomics(b *testing.B, strategy string) (*subzero.System, *subzero.R
 	if err != nil {
 		b.Fatal(err)
 	}
-	run, err := sys.Execute(spec, plan, map[string]*subzero.Array{
+	run, err := sys.Execute(context.Background(), spec, plan, map[string]*subzero.Array{
 		"train": data.Train, "test": data.Test,
 	})
 	if err != nil {
@@ -160,7 +161,7 @@ func BenchmarkFig6aGenomicsOverhead(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var lineageBytes int64
 			for i := 0; i < b.N; i++ {
-				res, err := genomics.RunStrategy(name, genCfg(), "")
+				res, err := genomics.RunStrategy(context.Background(), name, genCfg(), "")
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -181,7 +182,7 @@ func genomicsQueryBench(b *testing.B, dynamic bool) {
 			q := queries[qn]
 			b.Run(fmt.Sprintf("%s/%s", name, qn), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := sys.QueryWith(run, q, opts); err != nil {
+					if _, err := sys.QueryWith(context.Background(), run, q, opts); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -204,7 +205,7 @@ func BenchmarkFig7OptimizerSweep(b *testing.B) {
 		b.Run(fmt.Sprintf("budget-%dMB", budget>>20), func(b *testing.B) {
 			var lineageBytes int64
 			for i := 0; i < b.N; i++ {
-				results, err := genomics.OptimizerSweep(genCfg(), []int64{budget}, "")
+				results, err := genomics.OptimizerSweep(context.Background(), genCfg(), []int64{budget}, "")
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -227,7 +228,7 @@ func BenchmarkFig8MicroOverhead(b *testing.B) {
 					cfg.Fanin, cfg.Fanout = fanin, fanout
 					var lineageBytes int64
 					for i := 0; i < b.N; i++ {
-						res, err := microbench.Run(cfg, strat, "")
+						res, err := microbench.Run(context.Background(), cfg, strat, "")
 						if err != nil {
 							b.Fatal(err)
 						}
@@ -253,7 +254,7 @@ func BenchmarkFig9MicroQueries(b *testing.B) {
 				q := subzero.BackwardQuery(cells, subzero.Step{Node: microbench.NodeID})
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := sys.Query(run, q); err != nil {
+					if _, err := sys.Query(context.Background(), run, q); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -288,7 +289,7 @@ func prepareMicro(b *testing.B, cfg microbench.Config, strategy string) (*subzer
 	if err != nil {
 		b.Fatal(err)
 	}
-	run, err := sys.Execute(spec, plan, map[string]*subzero.Array{"input": input})
+	run, err := sys.Execute(context.Background(), spec, plan, map[string]*subzero.Array{"input": input})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -17,9 +17,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"subzero/internal/astro"
@@ -61,15 +63,19 @@ func run(args []string) error {
 	if fs.NArg() < 1 {
 		return fmt.Errorf("usage: subzero-bench [flags] fig5a|fig5b|fig6a|fig6b|fig6c|fig7|fig8|fig9|all")
 	}
+	// Ctrl-C cancels the in-flight workflow or query via the v2 context-
+	// aware API.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	cmd := fs.Arg(0)
-	runners := map[string]func(options) error{
+	runners := map[string]func(context.Context, options) error{
 		"fig5a": fig5a, "fig5b": fig5b,
 		"fig6a": fig6a, "fig6b": fig6b, "fig6c": fig6c,
 		"fig7": fig7, "fig8": fig8, "fig9": fig9,
 	}
 	if cmd == "all" {
 		for _, name := range []string{"fig5a", "fig5b", "fig6a", "fig6b", "fig6c", "fig7", "fig8", "fig9"} {
-			if err := runners[name](opts); err != nil {
+			if err := runners[name](ctx, opts); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 		}
@@ -79,14 +85,14 @@ func run(args []string) error {
 	if !ok {
 		return fmt.Errorf("unknown figure %q", cmd)
 	}
-	return fn(opts)
+	return fn(ctx, opts)
 }
 
 // astroResults caches one full astronomy pass per process so fig5a and
 // fig5b share it under "all".
 var astroCache []*astro.StrategyResult
 
-func astroResults(opts options) ([]*astro.StrategyResult, error) {
+func astroResults(ctx context.Context, opts options) ([]*astro.StrategyResult, error) {
 	if astroCache != nil {
 		return astroCache, nil
 	}
@@ -95,7 +101,7 @@ func astroResults(opts options) ([]*astro.StrategyResult, error) {
 		cfg.Rows, cfg.Cols, cfg.Stars, cfg.CosmicRays)
 	for _, name := range astro.StrategyNames {
 		start := time.Now()
-		res, err := astro.RunStrategy(name, cfg, opts.dir)
+		res, err := astro.RunStrategy(ctx, name, cfg, opts.dir)
 		if err != nil {
 			return nil, err
 		}
@@ -106,8 +112,8 @@ func astroResults(opts options) ([]*astro.StrategyResult, error) {
 	return astroCache, nil
 }
 
-func fig5a(opts options) error {
-	results, err := astroResults(opts)
+func fig5a(ctx context.Context, opts options) error {
+	results, err := astroResults(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -125,8 +131,8 @@ func fig5a(opts options) error {
 	return nil
 }
 
-func fig5b(opts options) error {
-	results, err := astroResults(opts)
+func fig5b(ctx context.Context, opts options) error {
+	results, err := astroResults(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -145,7 +151,7 @@ func fig5b(opts options) error {
 
 var genCache []*genomics.StrategyResult
 
-func genResults(opts options) ([]*genomics.StrategyResult, error) {
+func genResults(ctx context.Context, opts options) ([]*genomics.StrategyResult, error) {
 	if genCache != nil {
 		return genCache, nil
 	}
@@ -154,7 +160,7 @@ func genResults(opts options) ([]*genomics.StrategyResult, error) {
 		genomics.NumRows, genomics.BasePatients*cfg.Scale, cfg.Scale)
 	for _, name := range genomics.StrategyNames {
 		start := time.Now()
-		res, err := genomics.RunStrategy(name, cfg, opts.dir)
+		res, err := genomics.RunStrategy(ctx, name, cfg, opts.dir)
 		if err != nil {
 			return nil, err
 		}
@@ -165,8 +171,8 @@ func genResults(opts options) ([]*genomics.StrategyResult, error) {
 	return genCache, nil
 }
 
-func fig6a(opts options) error {
-	results, err := genResults(opts)
+func fig6a(ctx context.Context, opts options) error {
+	results, err := genResults(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -197,8 +203,8 @@ func genQueryTable(title string, results []*genomics.StrategyResult, pick func(*
 	t.Render(os.Stdout)
 }
 
-func fig6b(opts options) error {
-	results, err := genResults(opts)
+func fig6b(ctx context.Context, opts options) error {
+	results, err := genResults(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -207,8 +213,8 @@ func fig6b(opts options) error {
 	return nil
 }
 
-func fig6c(opts options) error {
-	results, err := genResults(opts)
+func fig6c(ctx context.Context, opts options) error {
+	results, err := genResults(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -217,11 +223,11 @@ func fig6c(opts options) error {
 	return nil
 }
 
-func fig7(opts options) error {
+func fig7(ctx context.Context, opts options) error {
 	cfg := genomics.DefaultGenConfig().Scaled(opts.genScale)
 	budgets := []int64{1 << 20, 10 << 20, 20 << 20, 50 << 20, 100 << 20}
 	fmt.Printf("genomics optimizer sweep (budgets 1..100 MB, scale %dx)\n\n", cfg.Scale)
-	results, err := genomics.OptimizerSweep(cfg, budgets, opts.dir)
+	results, err := genomics.OptimizerSweep(ctx, cfg, budgets, opts.dir)
 	if err != nil {
 		return err
 	}
@@ -248,7 +254,7 @@ func fig7(opts options) error {
 var microFanins = []int{1, 25, 50, 75, 100}
 var microFanouts = []int{1, 100}
 
-func microSweep(opts options) (map[string]map[[2]int]*microbench.Result, error) {
+func microSweep(ctx context.Context, opts options) (map[string]map[[2]int]*microbench.Result, error) {
 	out := map[string]map[[2]int]*microbench.Result{}
 	for _, strat := range microbench.StrategyNames {
 		out[strat] = map[[2]int]*microbench.Result{}
@@ -257,7 +263,7 @@ func microSweep(opts options) (map[string]map[[2]int]*microbench.Result, error) 
 				cfg := microbench.DefaultConfig()
 				cfg.Rows, cfg.Cols = opts.microSize, opts.microSize
 				cfg.Fanin, cfg.Fanout = fanin, fanout
-				res, err := microbench.Run(cfg, strat, opts.dir)
+				res, err := microbench.Run(ctx, cfg, strat, opts.dir)
 				if err != nil {
 					return nil, fmt.Errorf("%s fanin=%d fanout=%d: %w", strat, fanin, fanout, err)
 				}
@@ -270,19 +276,19 @@ func microSweep(opts options) (map[string]map[[2]int]*microbench.Result, error) 
 
 var microCache map[string]map[[2]int]*microbench.Result
 
-func microResults(opts options) (map[string]map[[2]int]*microbench.Result, error) {
+func microResults(ctx context.Context, opts options) (map[string]map[[2]int]*microbench.Result, error) {
 	if microCache != nil {
 		return microCache, nil
 	}
 	fmt.Printf("microbenchmark: %dx%d array, 10%% coverage, fanins %v, fanouts %v\n\n",
 		opts.microSize, opts.microSize, microFanins, microFanouts)
 	var err error
-	microCache, err = microSweep(opts)
+	microCache, err = microSweep(ctx, opts)
 	return microCache, err
 }
 
-func fig8(opts options) error {
-	results, err := microResults(opts)
+func fig8(ctx context.Context, opts options) error {
+	results, err := microResults(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -301,8 +307,8 @@ func fig8(opts options) error {
 	return nil
 }
 
-func fig9(opts options) error {
-	results, err := microResults(opts)
+func fig9(ctx context.Context, opts options) error {
+	results, err := microResults(ctx, opts)
 	if err != nil {
 		return err
 	}

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 
 	"subzero/internal/astro"
@@ -42,16 +44,21 @@ func run() error {
 	budget := flag.Int64("budget", 20<<20, "optimizer storage budget in bytes")
 	flag.Parse()
 
-	if err := demoAstro(*scale, *strategy, *dir); err != nil {
+	// Ctrl-C cancels the workflow or query mid-flight through the v2
+	// context-aware API.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := demoAstro(ctx, *scale, *strategy, *dir); err != nil {
 		return err
 	}
 	if *optimize {
-		return demoOptimizer(*budget)
+		return demoOptimizer(ctx, *budget)
 	}
 	return nil
 }
 
-func demoAstro(scale float64, strategy, dir string) error {
+func demoAstro(ctx context.Context, scale float64, strategy, dir string) error {
 	cfg := astro.DefaultGenConfig().Scaled(scale)
 	fmt.Printf("SubZero demo — astronomy workflow (%dx%d px, strategy %s)\n\n", cfg.Rows, cfg.Cols, strategy)
 
@@ -75,7 +82,7 @@ func demoAstro(scale float64, strategy, dir string) error {
 	stats := lineage.NewCollector()
 	exec := workflow.NewExecutor(array.NewVersions(), mgr, stats)
 
-	run, err := exec.Execute(spec, plan, map[string]*array.Array{
+	run, err := exec.Execute(ctx, spec, plan, map[string]*array.Array{
 		"img1": sky.Exposure1, "img2": sky.Exposure2,
 	})
 	if err != nil {
@@ -105,7 +112,7 @@ func demoAstro(scale float64, strategy, dir string) error {
 	for _, name := range names {
 		q := queries[name]
 		qe := query.New(run, stats, query.DefaultOptions())
-		res, err := qe.Execute(q)
+		res, err := qe.Execute(ctx, q)
 		if err != nil {
 			return fmt.Errorf("query %s: %w", name, err)
 		}
@@ -120,9 +127,9 @@ func demoAstro(scale float64, strategy, dir string) error {
 	return nil
 }
 
-func demoOptimizer(budget int64) error {
+func demoOptimizer(ctx context.Context, budget int64) error {
 	fmt.Printf("\nstrategy optimizer demo — genomics workflow (budget %s)\n\n", benchfmt.ByteCount(budget))
-	results, err := genomics.OptimizerSweep(genomics.DefaultGenConfig().Scaled(10), []int64{budget}, "")
+	results, err := genomics.OptimizerSweep(ctx, genomics.DefaultGenConfig().Scaled(10), []int64{budget}, "")
 	if err != nil {
 		return err
 	}

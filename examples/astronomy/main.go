@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -90,6 +91,7 @@ func (f *flagBright) MapF(_ *subzero.MapCtx, in uint64, _ int, dst []uint64) []u
 }
 
 func main() {
+	ctx := context.Background()
 	sys, err := subzero.NewSystem()
 	if err != nil {
 		log.Fatal(err)
@@ -128,7 +130,7 @@ func main() {
 		"smooth": {subzero.StratMap},
 		"flag":   {subzero.StratCompOne}, // composite: payload only for flags
 	}
-	run, err := sys.Execute(spec, plan, map[string]*subzero.Array{"exposure": img})
+	run, err := sys.Execute(ctx, spec, plan, map[string]*subzero.Array{"exposure": img})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -149,7 +151,7 @@ func main() {
 	fmt.Printf("detections: %d flagged pixels\n", len(flagged))
 
 	// Backward: which raw pixels produced the detections?
-	back, err := sys.Query(run, subzero.BackwardQuery(flagged,
+	back, err := sys.Query(ctx, run, subzero.BackwardQuery(flagged,
 		subzero.Step{Node: "flag"},
 		subzero.Step{Node: "smooth"},
 		subzero.Step{Node: "bias"},
@@ -167,7 +169,7 @@ func main() {
 		len(back.Cells()), brightest, val)
 
 	// Forward: everything the cosmic ray contaminated downstream.
-	fwd, err := sys.Query(run, subzero.ForwardQuery(
+	fwd, err := sys.Query(ctx, run, subzero.ForwardQuery(
 		[]uint64{space.Ravel(brightest)},
 		subzero.Step{Node: "bias"},
 		subzero.Step{Node: "smooth"},

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	sys, err := subzero.NewSystem()
 	if err != nil {
 		log.Fatal(err)
@@ -41,7 +43,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	run, err := sys.Execute(spec, plan, map[string]*subzero.Array{
+	run, err := sys.Execute(ctx, spec, plan, map[string]*subzero.Array{
 		"train": data.Train, "test": data.Test,
 	})
 	if err != nil {
@@ -56,7 +58,7 @@ func main() {
 	trainSpace := data.Train.Space()
 
 	// Interaction 1: click a relapse prediction -> supporting training data.
-	res, err := sys.Query(run, queries["BQ0"])
+	res, err := sys.Query(ctx, run, queries["BQ0"])
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,7 +71,7 @@ func main() {
 	fmt.Printf("  touching %d distinct feature rows of the training matrix\n\n", len(features))
 
 	// Interaction 2: click a model feature -> contributing values.
-	res, err = sys.Query(run, queries["BQ1"])
+	res, err = sys.Query(ctx, run, queries["BQ1"])
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,7 +79,7 @@ func main() {
 		len(res.Cells()), res.Elapsed)
 
 	// Interaction 3: select training cells -> affected predictions.
-	res, err = sys.Query(run, queries["FQ1"])
+	res, err = sys.Query(ctx, run, queries["FQ1"])
 	if err != nil {
 		log.Fatal(err)
 	}

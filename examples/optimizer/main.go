@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -65,6 +66,7 @@ func (w *window) MapP(mc *subzero.MapCtx, out uint64, payload []byte, _ int, dst
 }
 
 func main() {
+	ctx := context.Background()
 	sys, err := subzero.NewSystem()
 	if err != nil {
 		log.Fatal(err)
@@ -90,7 +92,7 @@ func main() {
 		"scale":  {subzero.StratMap},
 		"window": {subzero.StratFullOne, subzero.StratPayOne},
 	}
-	run, err := sys.Execute(spec, profile, map[string]*subzero.Array{"data": data})
+	run, err := sys.Execute(ctx, spec, profile, map[string]*subzero.Array{"data": data})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -108,7 +110,7 @@ func main() {
 	fmt.Println("budget       chosen strategies for 'window'   est. disk     est. query cost")
 	fmt.Println("-----------  -------------------------------  ------------  ---------------")
 	for _, budgetMB := range []float64{0.001, 0.5, 2, 64} {
-		report, err := sys.Optimize(run, workload, subzero.Constraints{
+		report, err := sys.Optimize(ctx, run, workload, subzero.Constraints{
 			MaxDiskBytes: subzero.MB(budgetMB),
 		})
 		if err != nil {

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,6 +12,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A system with in-memory lineage stores (pass
 	// subzero.WithStorageDir(dir) for file-backed stores).
 	sys, err := subzero.NewSystem()
@@ -49,7 +51,7 @@ func main() {
 		"brighten": {subzero.StratMap},
 		"smooth":   {subzero.StratMap},
 	}
-	run, err := sys.Execute(spec, plan, map[string]*subzero.Array{"image": img})
+	run, err := sys.Execute(ctx, spec, plan, map[string]*subzero.Array{"image": img})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +59,7 @@ func main() {
 	// Which input pixels produced smoothed cell (3,3)?
 	space := subzero.NewSpace(subzero.Shape{8, 8})
 	cell := space.Ravel(subzero.Coord{3, 3})
-	res, err := sys.Query(run, subzero.BackwardQuery(
+	res, err := sys.Query(ctx, run, subzero.BackwardQuery(
 		[]uint64{cell},
 		subzero.Step{Node: "smooth"},
 		subzero.Step{Node: "brighten"},
@@ -71,7 +73,7 @@ func main() {
 	}
 
 	// And the other direction: which smoothed cells depend on image (0,0)?
-	fres, err := sys.Query(run, subzero.ForwardQuery(
+	fres, err := sys.Query(ctx, run, subzero.ForwardQuery(
 		[]uint64{space.Ravel(subzero.Coord{0, 0})},
 		subzero.Step{Node: "brighten"},
 		subzero.Step{Node: "smooth"},

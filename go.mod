@@ -1,0 +1,3 @@
+module subzero
+
+go 1.24

@@ -1,6 +1,7 @@
 package subzero_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestEndToEndAstroThroughFacade(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		run, err := sys.Execute(spec, plan, map[string]*subzero.Array{
+		run, err := sys.Execute(context.Background(), spec, plan, map[string]*subzero.Array{
 			"img1": sky.Exposure1, "img2": sky.Exposure2,
 		})
 		if err != nil {
@@ -45,7 +46,7 @@ func TestEndToEndAstroThroughFacade(t *testing.T) {
 		}
 		answers[strategy] = map[string]int{}
 		for name, q := range queries {
-			res, err := sys.Query(run, q)
+			res, err := sys.Query(context.Background(), run, q)
 			if err != nil {
 				t.Fatalf("%s/%s: %v", strategy, name, err)
 			}
@@ -86,7 +87,7 @@ func TestEndToEndGenomicsOptimizerLoop(t *testing.T) {
 		profile[id] = []subzero.Strategy{subzero.StratFullOne, subzero.StratPayOne}
 	}
 	sources := map[string]*subzero.Array{"train": data.Train, "test": data.Test}
-	profRun, err := sys.Execute(spec, profile, sources)
+	profRun, err := sys.Execute(context.Background(), spec, profile, sources)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,18 +99,18 @@ func TestEndToEndGenomicsOptimizerLoop(t *testing.T) {
 	truth := map[string]int{}
 	for name, q := range queries {
 		workload = append(workload, q)
-		res, err := sys.Query(profRun, q)
+		res, err := sys.Query(context.Background(), profRun, q)
 		if err != nil {
 			t.Fatal(err)
 		}
 		truth[name] = len(res.Cells())
 	}
 
-	rep, err := sys.Optimize(profRun, workload, subzero.Constraints{MaxDiskBytes: subzero.MB(64)})
+	rep, err := sys.Optimize(context.Background(), profRun, workload, subzero.Constraints{MaxDiskBytes: subzero.MB(64)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	optRun, err := sys.Execute(spec, rep.Plan, sources)
+	optRun, err := sys.Execute(context.Background(), spec, rep.Plan, sources)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestEndToEndGenomicsOptimizerLoop(t *testing.T) {
 		t.Fatal(err)
 	}
 	for name, q := range optQueries {
-		res, err := sys.Query(optRun, q)
+		res, err := sys.Query(context.Background(), optRun, q)
 		if err != nil {
 			t.Fatalf("optimized %s: %v", name, err)
 		}
@@ -137,7 +138,7 @@ func TestMicrobenchCrossoverShape(t *testing.T) {
 		cfg := microbench.DefaultConfig()
 		cfg.Rows, cfg.Cols = 200, 200
 		cfg.Fanin, cfg.Fanout = fanin, fanout
-		res, err := microbench.Run(cfg, strat, "")
+		res, err := microbench.Run(context.Background(), cfg, strat, "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -161,21 +162,21 @@ func TestBenchmarkHarnessSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	if _, err := astro.RunStrategy("SubZero", astro.DefaultGenConfig().Scaled(0.1), t.TempDir()); err != nil {
+	if _, err := astro.RunStrategy(context.Background(), "SubZero", astro.DefaultGenConfig().Scaled(0.1), t.TempDir()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := genomics.RunStrategy("PayOne", genomics.DefaultGenConfig().Scaled(2), t.TempDir()); err != nil {
+	if _, err := genomics.RunStrategy(context.Background(), "PayOne", genomics.DefaultGenConfig().Scaled(2), t.TempDir()); err != nil {
 		t.Fatal(err)
 	}
 	cfg := microbench.DefaultConfig()
 	cfg.Rows, cfg.Cols = 150, 150
 	for _, strat := range microbench.StrategyNames {
-		if _, err := microbench.Run(cfg, strat, t.TempDir()); err != nil {
+		if _, err := microbench.Run(context.Background(), cfg, strat, t.TempDir()); err != nil {
 			t.Fatalf("%s: %v", strat, err)
 		}
 	}
 	budgets := []int64{1 << 20, 0}
-	if _, err := genomics.OptimizerSweep(genomics.DefaultGenConfig().Scaled(2), budgets, t.TempDir()); err != nil {
+	if _, err := genomics.OptimizerSweep(context.Background(), genomics.DefaultGenConfig().Scaled(2), budgets, t.TempDir()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -193,7 +194,7 @@ func TestQueryResultsStableAcrossRuns(t *testing.T) {
 		plan, _ := astro.Plan("SubZero")
 		spec, _ := astro.NewSpec()
 		sky, _ := astro.Generate(astro.DefaultGenConfig().Scaled(0.1))
-		run, err := sys.Execute(spec, plan, map[string]*subzero.Array{
+		run, err := sys.Execute(context.Background(), spec, plan, map[string]*subzero.Array{
 			"img1": sky.Exposure1, "img2": sky.Exposure2,
 		})
 		if err != nil {
@@ -203,7 +204,7 @@ func TestQueryResultsStableAcrossRuns(t *testing.T) {
 		sig := ""
 		for _, name := range astro.QueryNames {
 			if q, ok := queries[name]; ok {
-				res, err := sys.Query(run, q)
+				res, err := sys.Query(context.Background(), run, q)
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -72,6 +72,21 @@ func (a *Array) WithName(name string) *Array {
 	return &cp
 }
 
+// SharesStorage reports whether two arrays view the same attribute
+// storage (e.g. one is a WithName copy of the other). The versioned store
+// uses it to avoid registering duplicate versions of an unchanged array.
+func (a *Array) SharesStorage(b *Array) bool {
+	if b == nil || len(a.attrs) != len(b.attrs) {
+		return false
+	}
+	for i := range a.attrs {
+		if len(a.attrs[i]) == 0 || len(b.attrs[i]) == 0 || &a.attrs[i][0] != &b.attrs[i][0] {
+			return false
+		}
+	}
+	return len(a.attrs) > 0
+}
+
 // Space returns the coordinate space.
 func (a *Array) Space() *grid.Space { return a.space }
 

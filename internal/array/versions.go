@@ -3,6 +3,7 @@ package array
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -21,11 +22,18 @@ func NewVersions() *Versions {
 }
 
 // Put appends a new version of the array under its name and returns the
-// version number (0 for the first).
+// version number (0 for the first). Re-putting the array currently at the
+// head of the version chain (same backing storage) is a no-op returning
+// the existing version number: a long-lived server re-executing workflows
+// over the same sources must not grow a duplicate version per run.
 func (v *Versions) Put(a *Array) int {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	v.data[a.Name()] = append(v.data[a.Name()], a)
+	vs := v.data[a.Name()]
+	if n := len(vs); n > 0 && vs[n-1].SharesStorage(a) {
+		return n - 1
+	}
+	v.data[a.Name()] = append(vs, a)
 	return len(v.data[a.Name()]) - 1
 }
 
@@ -68,6 +76,23 @@ func (v *Versions) Names() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// DropPrefix removes every version of every array whose name starts with
+// prefix, returning how many arrays were released. The run registry uses
+// it to free a dropped run's intermediate and final outputs (which are
+// stored under "<runID>/<nodeID>" names).
+func (v *Versions) DropPrefix(prefix string) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var dropped int
+	for name := range v.data {
+		if strings.HasPrefix(name, prefix) {
+			delete(v.data, name)
+			dropped++
+		}
+	}
+	return dropped
 }
 
 // TotalBytes returns the cell-data footprint of every stored version; the

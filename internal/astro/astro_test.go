@@ -1,6 +1,7 @@
 package astro
 
 import (
+	"context"
 	"testing"
 
 	"subzero/internal/array"
@@ -101,7 +102,7 @@ func executeAstro(t *testing.T, planName string) (*workflow.Executor, *workflow.
 	}
 	t.Cleanup(func() { mgr.Close() })
 	exec := workflow.NewExecutor(array.NewVersions(), mgr, lineage.NewCollector())
-	run, err := exec.Execute(spec, plan, map[string]*array.Array{
+	run, err := exec.Execute(context.Background(), spec, plan, map[string]*array.Array{
 		"img1": sky.Exposure1, "img2": sky.Exposure2,
 	})
 	if err != nil {
@@ -183,7 +184,7 @@ func TestStrategyQueryEquivalence(t *testing.T) {
 		}
 		qe := query.New(run, exec.Stats(), query.Options{EntireArray: true, Dynamic: false})
 		for qname, q := range queries {
-			res, err := qe.Execute(q)
+			res, err := qe.Execute(context.Background(), q)
 			if err != nil {
 				t.Fatalf("%s/%s: %v", name, qname, err)
 			}
@@ -215,11 +216,11 @@ func TestFQ0SlowMatchesFast(t *testing.T) {
 		t.Fatal(err)
 	}
 	fq := queries["FQ0"]
-	fast, err := query.New(run, exec.Stats(), query.Options{EntireArray: true}).Execute(fq)
+	fast, err := query.New(run, exec.Stats(), query.Options{EntireArray: true}).Execute(context.Background(), fq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	slow, err := query.New(run, exec.Stats(), query.Options{EntireArray: false}).Execute(fq)
+	slow, err := query.New(run, exec.Stats(), query.Options{EntireArray: false}).Execute(context.Background(), fq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestFQ0SlowMatchesFast(t *testing.T) {
 
 // RunStrategy end-to-end smoke test with file-backed stores.
 func TestRunStrategyFileBacked(t *testing.T) {
-	res, err := RunStrategy("SubZero", testConfig(), t.TempDir())
+	res, err := RunStrategy(context.Background(), "SubZero", testConfig(), t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,11 +257,11 @@ func TestRunStrategyFileBacked(t *testing.T) {
 // The SubZero configuration must store far less than Full lineage — the
 // headline of Figure 5(a).
 func TestSubZeroStorageAdvantage(t *testing.T) {
-	subzero, err := RunStrategy("SubZero", testConfig(), "")
+	subzero, err := RunStrategy(context.Background(), "SubZero", testConfig(), "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	fullone, err := RunStrategy("FullOne", testConfig(), "")
+	fullone, err := RunStrategy(context.Background(), "FullOne", testConfig(), "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package astro
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"time"
@@ -252,7 +253,7 @@ type StrategyResult struct {
 // RunStrategy executes the workflow under one Table-II configuration and
 // measures overheads plus all benchmark queries (including FQ0-Slow).
 // storageRoot selects file-backed lineage stores; empty means in-memory.
-func RunStrategy(name string, cfg GenConfig, storageRoot string) (*StrategyResult, error) {
+func RunStrategy(ctx context.Context, name string, cfg GenConfig, storageRoot string) (*StrategyResult, error) {
 	plan, err := Plan(name)
 	if err != nil {
 		return nil, err
@@ -276,7 +277,7 @@ func RunStrategy(name string, cfg GenConfig, storageRoot string) (*StrategyResul
 	defer mgr.Close()
 	exec := workflow.NewExecutor(array.NewVersions(), mgr, lineage.NewCollector())
 
-	run, err := exec.Execute(spec, plan, map[string]*array.Array{
+	run, err := exec.Execute(ctx, spec, plan, map[string]*array.Array{
 		"img1": sky.Exposure1, "img2": sky.Exposure2,
 	})
 	if err != nil {
@@ -296,22 +297,22 @@ func RunStrategy(name string, cfg GenConfig, storageRoot string) (*StrategyResul
 	}
 	for qname, q := range queries {
 		opts := query.Options{EntireArray: true, Dynamic: false}
-		if err := runQuery(run, exec, qname, q, opts, res); err != nil {
+		if err := runQuery(ctx, run, exec, qname, q, opts, res); err != nil {
 			return nil, err
 		}
 	}
 	// FQ0-Slow: the forward query without the entire-array optimization.
 	slow := query.Options{EntireArray: false, Dynamic: false}
-	if err := runQuery(run, exec, "FQ0Slow", queries["FQ0"], slow, res); err != nil {
+	if err := runQuery(ctx, run, exec, "FQ0Slow", queries["FQ0"], slow, res); err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
-func runQuery(run *workflow.Run, exec *workflow.Executor, name string, q query.Query, opts query.Options, res *StrategyResult) error {
+func runQuery(ctx context.Context, run *workflow.Run, exec *workflow.Executor, name string, q query.Query, opts query.Options, res *StrategyResult) error {
 	qe := query.New(run, exec.Stats(), opts)
 	start := time.Now()
-	qr, err := qe.Execute(q)
+	qr, err := qe.Execute(ctx, q)
 	if err != nil {
 		return fmt.Errorf("astro: query %s under %s: %w", name, res.Name, err)
 	}

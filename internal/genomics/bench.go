@@ -1,6 +1,7 @@
 package genomics
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"path/filepath"
@@ -167,12 +168,12 @@ type StrategyResult struct {
 // RunStrategy executes the workflow under one configuration and measures
 // overheads and the query workload with the query-time optimizer off
 // (Figure 6(b)) and on (Figure 6(c)).
-func RunStrategy(name string, cfg GenConfig, storageRoot string) (*StrategyResult, error) {
+func RunStrategy(ctx context.Context, name string, cfg GenConfig, storageRoot string) (*StrategyResult, error) {
 	plan, err := Plan(name)
 	if err != nil {
 		return nil, err
 	}
-	exec, run, data, err := execute(plan, cfg, storageRoot, "gen-"+name)
+	exec, run, data, err := execute(ctx, plan, cfg, storageRoot, "gen-"+name)
 	if err != nil {
 		return nil, err
 	}
@@ -193,7 +194,7 @@ func RunStrategy(name string, cfg GenConfig, storageRoot string) (*StrategyResul
 	for qname, q := range queries {
 		static := query.New(run, exec.Stats(), query.Options{EntireArray: true, Dynamic: false})
 		start := time.Now()
-		qr, err := static.Execute(q)
+		qr, err := static.Execute(ctx, q)
 		if err != nil {
 			return nil, fmt.Errorf("genomics: %s/%s static: %w", name, qname, err)
 		}
@@ -202,7 +203,7 @@ func RunStrategy(name string, cfg GenConfig, storageRoot string) (*StrategyResul
 
 		dynamic := query.New(run, exec.Stats(), query.Options{EntireArray: true, Dynamic: true})
 		start = time.Now()
-		if _, err := dynamic.Execute(q); err != nil {
+		if _, err := dynamic.Execute(ctx, q); err != nil {
 			return nil, fmt.Errorf("genomics: %s/%s dynamic: %w", name, qname, err)
 		}
 		res.Dynamic[qname] = time.Since(start)
@@ -210,7 +211,7 @@ func RunStrategy(name string, cfg GenConfig, storageRoot string) (*StrategyResul
 	return res, nil
 }
 
-func execute(plan workflow.Plan, cfg GenConfig, storageRoot, tag string) (*workflow.Executor, *workflow.Run, *Data, error) {
+func execute(ctx context.Context, plan workflow.Plan, cfg GenConfig, storageRoot, tag string) (*workflow.Executor, *workflow.Run, *Data, error) {
 	spec, err := NewSpec()
 	if err != nil {
 		return nil, nil, nil, err
@@ -228,7 +229,7 @@ func execute(plan workflow.Plan, cfg GenConfig, storageRoot, tag string) (*workf
 		return nil, nil, nil, err
 	}
 	exec := workflow.NewExecutor(array.NewVersions(), mgr, lineage.NewCollector())
-	run, err := exec.Execute(spec, plan, map[string]*array.Array{
+	run, err := exec.Execute(ctx, spec, plan, map[string]*array.Array{
 		"train": data.Train, "test": data.Test,
 	})
 	if err != nil {
@@ -252,7 +253,7 @@ type SweepResult struct {
 // OptimizerSweep reproduces Figure 7: a profiling run measures per-UDF
 // lineage volumes, then for each storage budget the ILP chooses a plan,
 // the workflow re-runs under it, and the workload is measured.
-func OptimizerSweep(cfg GenConfig, budgets []int64, storageRoot string) ([]SweepResult, error) {
+func OptimizerSweep(ctx context.Context, cfg GenConfig, budgets []int64, storageRoot string) ([]SweepResult, error) {
 	// Profiling run: built-ins Map, UDFs materialize both a Full and a
 	// payload store so every encoding can be estimated from measurements.
 	profPlan := workflow.Plan{}
@@ -262,7 +263,7 @@ func OptimizerSweep(cfg GenConfig, budgets []int64, storageRoot string) ([]Sweep
 	for _, id := range UDFIDs {
 		profPlan[id] = []lineage.Strategy{lineage.StratFullOne, lineage.StratPayOne}
 	}
-	exec, profRun, _, err := execute(profPlan, cfg, storageRoot, "gen-profile")
+	exec, profRun, _, err := execute(ctx, profPlan, cfg, storageRoot, "gen-profile")
 	if err != nil {
 		return nil, err
 	}
@@ -279,7 +280,7 @@ func OptimizerSweep(cfg GenConfig, budgets []int64, storageRoot string) ([]Sweep
 	var out []SweepResult
 	for _, budget := range budgets {
 		optimizer := opt.New(profRun, exec.Stats())
-		rep, err := optimizer.Choose(workload, opt.Constraints{MaxDiskBytes: budget})
+		rep, err := optimizer.Choose(ctx, workload, opt.Constraints{MaxDiskBytes: budget})
 		if err != nil {
 			return nil, fmt.Errorf("genomics: optimize budget %d: %w", budget, err)
 		}
@@ -293,7 +294,7 @@ func OptimizerSweep(cfg GenConfig, budgets []int64, storageRoot string) ([]Sweep
 			Plan:        rep.Plan,
 			QueryTimes:  map[string]time.Duration{},
 		}
-		exec2, run2, _, err := execute(rep.Plan, cfg, storageRoot, name)
+		exec2, run2, _, err := execute(ctx, rep.Plan, cfg, storageRoot, name)
 		if err != nil {
 			return nil, fmt.Errorf("genomics: run plan for %s: %w", name, err)
 		}
@@ -307,7 +308,7 @@ func OptimizerSweep(cfg GenConfig, budgets []int64, storageRoot string) ([]Sweep
 		for qname, q := range qs2 {
 			qe := query.New(run2, exec2.Stats(), query.DefaultOptions())
 			start := time.Now()
-			if _, err := qe.Execute(q); err != nil {
+			if _, err := qe.Execute(ctx, q); err != nil {
 				exec2.Manager().Close()
 				return nil, fmt.Errorf("genomics: %s/%s: %w", name, qname, err)
 			}

@@ -1,6 +1,7 @@
 package genomics
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -99,7 +100,7 @@ func runGenomics(t *testing.T, planName string) (*workflow.Executor, *workflow.R
 	}
 	t.Cleanup(func() { mgr.Close() })
 	exec := workflow.NewExecutor(array.NewVersions(), mgr, lineage.NewCollector())
-	run, err := exec.Execute(spec, plan, map[string]*array.Array{
+	run, err := exec.Execute(context.Background(), spec, plan, map[string]*array.Array{
 		"train": data.Train, "test": data.Test,
 	})
 	if err != nil {
@@ -157,7 +158,7 @@ func TestStrategyQueryEquivalence(t *testing.T) {
 		for _, dynamic := range []bool{false, true} {
 			qe := query.New(run, exec.Stats(), query.Options{EntireArray: true, Dynamic: dynamic})
 			for qname, q := range queries {
-				res, err := qe.Execute(q)
+				res, err := qe.Execute(context.Background(), q)
 				if err != nil {
 					t.Fatalf("%s/%s dynamic=%v: %v", name, qname, dynamic, err)
 				}
@@ -183,7 +184,7 @@ func TestStrategyQueryEquivalence(t *testing.T) {
 }
 
 func TestRunStrategyMeasurements(t *testing.T) {
-	res, err := RunStrategy("PayBoth", testConfig(), t.TempDir())
+	res, err := RunStrategy(context.Background(), "PayBoth", testConfig(), t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,11 +208,11 @@ func TestRunStrategyMeasurements(t *testing.T) {
 // Figure 6(b) pathology) while the dynamic optimizer keeps them near
 // black-box (Figure 6(c)).
 func TestDynamicOptimizerBoundsMismatchedAccess(t *testing.T) {
-	res, err := RunStrategy("FullForw", testConfig(), "")
+	res, err := RunStrategy(context.Background(), "FullForw", testConfig(), "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	bb, err := RunStrategy("BlackBox", testConfig(), "")
+	bb, err := RunStrategy(context.Background(), "BlackBox", testConfig(), "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestDynamicOptimizerBoundsMismatchedAccess(t *testing.T) {
 
 func TestOptimizerSweep(t *testing.T) {
 	budgets := []int64{1 << 10, 1 << 22, 0}
-	results, err := OptimizerSweep(testConfig(), budgets, "")
+	results, err := OptimizerSweep(context.Background(), testConfig(), budgets, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -67,6 +67,9 @@ const recordOverhead = 12
 func (m *MemStore) Put(key, val []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.data == nil {
+		return ErrClosed
+	}
 	k := string(key)
 	if old, ok := m.data[k]; ok {
 		m.bytes -= int64(len(k) + len(old) + recordOverhead)
@@ -82,6 +85,9 @@ func (m *MemStore) Put(key, val []byte) error {
 func (m *MemStore) Get(key []byte) ([]byte, bool, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	if m.data == nil {
+		return nil, false, ErrClosed
+	}
 	v, ok := m.data[string(key)]
 	return v, ok, nil
 }
@@ -89,6 +95,10 @@ func (m *MemStore) Get(key []byte) ([]byte, bool, error) {
 // Scan implements Store. Keys are visited in sorted order for determinism.
 func (m *MemStore) Scan(fn func(key, val []byte) bool) error {
 	m.mu.RLock()
+	if m.data == nil {
+		m.mu.RUnlock()
+		return ErrClosed
+	}
 	keys := make([]string, 0, len(m.data))
 	for k := range m.data {
 		keys = append(keys, k)

@@ -56,10 +56,9 @@ func (m *Manager) Open(namespace string) (Store, error) {
 	return s, nil
 }
 
-// Drop closes and deletes a namespace's store and backing file.
-func (m *Manager) Drop(namespace string) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// dropLocked closes and removes one namespace's store and backing file.
+// Callers hold m.mu.
+func (m *Manager) dropLocked(namespace string) error {
 	s, ok := m.stores[namespace]
 	if !ok {
 		return nil
@@ -67,11 +66,38 @@ func (m *Manager) Drop(namespace string) error {
 	delete(m.stores, namespace)
 	closeErr := s.Close()
 	if m.root != "" {
-		if err := os.Remove(filepath.Join(m.root, sanitize(namespace)+".log")); err != nil && !os.IsNotExist(err) {
-			return err
+		if err := os.Remove(filepath.Join(m.root, sanitize(namespace)+".log")); err != nil && !os.IsNotExist(err) && closeErr == nil {
+			closeErr = err
 		}
 	}
 	return closeErr
+}
+
+// Drop closes and deletes a namespace's store and backing file.
+func (m *Manager) Drop(namespace string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropLocked(namespace)
+}
+
+// DropPrefix closes and deletes every namespace whose name starts with
+// prefix, returning how many stores were released. The run registry uses
+// it to free all lineage stores of a dropped run in one call.
+func (m *Manager) DropPrefix(prefix string) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var dropped int
+	var firstErr error
+	for ns := range m.stores {
+		if !strings.HasPrefix(ns, prefix) {
+			continue
+		}
+		dropped++
+		if err := m.dropLocked(ns); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return dropped, firstErr
 }
 
 // Namespaces returns the open namespaces in sorted order.

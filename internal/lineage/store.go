@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"subzero/internal/grid"
@@ -32,7 +33,12 @@ type StoreStats struct {
 // hashtable according to the strategy's encoding and orientation, and
 // serves backward/forward lookups over them.
 //
-// Store is not safe for concurrent use.
+// Writes (WritePairs, Flush) are serialized by the workflow executor and
+// must not overlap with lookups. Lookups (Backward, Forward, ContainsOut)
+// are safe to run concurrently with each other once the run has completed:
+// mu guards the pending write buffers and the record cache, the backing
+// kvstore synchronizes internally, and the spatial indexes are read-only
+// after the final flush.
 type Store struct {
 	strat    Strategy
 	outSpace *grid.Space
@@ -45,6 +51,10 @@ type Store struct {
 	trees    []*rtree.Tree
 	nextPair uint64
 	dirtyIdx bool
+
+	// mu guards the pending buffers, the record cache, and stats against
+	// concurrent lookups.
+	mu sync.Mutex
 
 	// Pending per-cell entries for One encodings, merged into the
 	// hashtable in batches so key collisions don't force a read-modify-
@@ -155,25 +165,39 @@ func (s *Store) loadMeta() error {
 func (s *Store) Strategy() Strategy { return s.strat }
 
 // Stats returns the accumulated write statistics.
-func (s *Store) Stats() StoreStats { return s.stats }
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
 
 // AddWriteTime accrues time spent by the runtime serializing into this
 // store; it is part of the strategy's runtime overhead.
-func (s *Store) AddWriteTime(d time.Duration) { s.stats.WriteTime += d }
+func (s *Store) AddWriteTime(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.WriteTime += d
+}
 
 // NumPairs returns the number of region pairs written.
-func (s *Store) NumPairs() int { return s.stats.Pairs }
+func (s *Store) NumPairs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats.Pairs
+}
 
 // WritePairs encodes a batch of region pairs into the store. Pairs must
 // already be normalized and validated (the writer does both).
 func (s *Store) WritePairs(pairs []RegionPair) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i := range pairs {
 		if err := s.writePair(&pairs[i]); err != nil {
 			return err
 		}
 	}
 	if s.pendingCount >= pendingFlushThreshold {
-		return s.flushPending()
+		return s.flushPendingLocked()
 	}
 	return nil
 }
@@ -247,10 +271,19 @@ func (s *Store) writePair(rp *RegionPair) error {
 	}
 }
 
-// flushPending merges buffered per-cell entries into the hashtable. Reads
-// of existing entries are batched before writes so the file store's write
-// buffer is drained once, not per key.
+// flushPending merges buffered per-cell entries into the hashtable under
+// the store lock; lookup paths call it before reading so late buffered
+// writes are visible.
 func (s *Store) flushPending() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushPendingLocked()
+}
+
+// flushPendingLocked merges buffered per-cell entries into the hashtable.
+// Reads of existing entries are batched before writes so the file store's
+// write buffer is drained once, not per key. Callers hold s.mu.
+func (s *Store) flushPendingLocked() error {
 	if s.pendingCount == 0 {
 		return nil
 	}
@@ -306,7 +339,9 @@ func (s *Store) flushPending() error {
 // Flush persists pending entries, spatial indexes, and metadata, then
 // syncs the hashtable. SizeBytes is exact after Flush.
 func (s *Store) Flush() error {
-	if err := s.flushPending(); err != nil {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.flushPendingLocked(); err != nil {
 		return err
 	}
 	if s.dirtyIdx {
@@ -331,14 +366,16 @@ func (s *Store) encodeStats() []byte {
 	buf = binary.AppendUvarint(buf, uint64(s.stats.OutCells))
 	buf = binary.AppendUvarint(buf, uint64(s.stats.InCells))
 	buf = binary.AppendUvarint(buf, uint64(s.stats.PayloadBytes))
-	buf = binary.AppendUvarint(buf, uint64(s.stats.WriteTime))
-	return buf
+	// WriteTime is fixed-width: a varint here would make the record's
+	// size — and thus SizeBytes — depend on wall-clock timing, breaking
+	// the determinism the benchmarks and their tests rely on.
+	return binary.LittleEndian.AppendUint64(buf, uint64(s.stats.WriteTime))
 }
 
 func (s *Store) decodeStats(val []byte) {
-	vals := make([]uint64, 0, 5)
+	vals := make([]uint64, 0, 4)
 	off := 0
-	for i := 0; i < 5 && off < len(val); i++ {
+	for i := 0; i < 4 && off < len(val); i++ {
 		v, n := binary.Uvarint(val[off:])
 		if n <= 0 {
 			return
@@ -346,20 +383,23 @@ func (s *Store) decodeStats(val []byte) {
 		vals = append(vals, v)
 		off += n
 	}
-	if len(vals) == 5 {
-		s.stats = StoreStats{
-			Pairs:        int(vals[0]),
-			OutCells:     int64(vals[1]),
-			InCells:      int64(vals[2]),
-			PayloadBytes: int64(vals[3]),
-			WriteTime:    time.Duration(vals[4]),
-		}
+	if len(vals) != 4 || len(val)-off != 8 {
+		return
+	}
+	s.stats = StoreStats{
+		Pairs:        int(vals[0]),
+		OutCells:     int64(vals[1]),
+		InCells:      int64(vals[2]),
+		PayloadBytes: int64(vals[3]),
+		WriteTime:    time.Duration(binary.LittleEndian.Uint64(val[off:])),
 	}
 }
 
 // SizeBytes returns the storage charged to this store: the hashtable size
 // plus an estimate for any not-yet-flushed state.
 func (s *Store) SizeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	size := s.kv.SizeBytes()
 	if s.pendingCount > 0 {
 		size += int64(s.pendingCount) * 14
@@ -373,7 +413,10 @@ func (s *Store) SizeBytes() int64 {
 }
 
 func (s *Store) getRecord(id uint64) (*record, error) {
-	if rec, ok := s.recCache[id]; ok {
+	s.mu.Lock()
+	rec, ok := s.recCache[id]
+	s.mu.Unlock()
+	if ok {
 		return rec, nil
 	}
 	val, ok, err := s.kv.Get(pairKey(id))
@@ -383,14 +426,16 @@ func (s *Store) getRecord(id uint64) (*record, error) {
 	if !ok {
 		return nil, fmt.Errorf("lineage: dangling pair id %d", id)
 	}
-	rec, err := decodeRecord(val)
+	rec, err = decodeRecord(val)
 	if err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
 	if len(s.recCache) >= recCacheLimit {
 		s.recCache = make(map[uint64]*record)
 	}
 	s.recCache[id] = rec
+	s.mu.Unlock()
 	return rec, nil
 }
 

@@ -1,6 +1,7 @@
 package microbench
 
 import (
+	"context"
 	"testing"
 
 	"subzero/internal/lineage"
@@ -12,11 +13,11 @@ func testConfig(fanin, fanout int) Config {
 }
 
 func TestDeterministicPairGeneration(t *testing.T) {
-	a, err := Run(testConfig(4, 2), "<-FullOne", "")
+	a, err := Run(context.Background(), testConfig(4, 2), "<-FullOne", "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(testConfig(4, 2), "<-FullOne", "")
+	b, err := Run(context.Background(), testConfig(4, 2), "<-FullOne", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func TestMicrobenchStrategyEquivalence(t *testing.T) {
 	for _, cfg := range []Config{testConfig(1, 1), testConfig(8, 4), testConfig(16, 1)} {
 		var wantB, wantF int
 		for i, name := range StrategyNames {
-			res, err := Run(cfg, name, "")
+			res, err := Run(context.Background(), cfg, name, "")
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
@@ -51,7 +52,7 @@ func TestMicrobenchStrategyEquivalence(t *testing.T) {
 }
 
 func TestBlackBoxStoresNothing(t *testing.T) {
-	res, err := Run(testConfig(4, 4), "BlackBox", "")
+	res, err := Run(context.Background(), testConfig(4, 4), "BlackBox", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,11 +66,11 @@ func TestBlackBoxStoresNothing(t *testing.T) {
 // the full lineage approaches and is independent of the fanin" — here the
 // payload grows 4 bytes/fanin, dwarfed by full lineage's per-cell cost).
 func TestPayloadCheaperThanFullAtHighFanin(t *testing.T) {
-	pay, err := Run(testConfig(50, 1), "<-PayOne", "")
+	pay, err := Run(context.Background(), testConfig(50, 1), "<-PayOne", "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := Run(testConfig(50, 1), "<-FullOne", "")
+	full, err := Run(context.Background(), testConfig(50, 1), "<-FullOne", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,11 +85,11 @@ func TestPayloadCheaperThanFullAtHighFanin(t *testing.T) {
 // at fanout 1 (paper: "when the fanin increases it can require up to
 // fanin× more hash entries").
 func TestForwardOptimizedEntryBlowup(t *testing.T) {
-	fwd, err := Run(testConfig(30, 1), "->FullOne", "")
+	fwd, err := Run(context.Background(), testConfig(30, 1), "->FullOne", "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	bwd, err := Run(testConfig(30, 1), "<-FullOne", "")
+	bwd, err := Run(context.Background(), testConfig(30, 1), "<-FullOne", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestForwardOptimizedEntryBlowup(t *testing.T) {
 }
 
 func TestUnknownStrategy(t *testing.T) {
-	if _, err := Run(testConfig(1, 1), "nope", ""); err == nil {
+	if _, err := Run(context.Background(), testConfig(1, 1), "nope", ""); err == nil {
 		t.Fatal("unknown strategy accepted")
 	}
 }
@@ -117,12 +118,12 @@ func TestMapPCellsRoundTrip(t *testing.T) {
 // answer queries identically — it is the ablation configuration.
 func TestPayloadCellsStyleEquivalence(t *testing.T) {
 	cfg := testConfig(8, 4)
-	base, err := Run(cfg, "BlackBox", "")
+	base, err := Run(context.Background(), cfg, "BlackBox", "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.PayloadCells = true
-	res, err := Run(cfg, "<-PayOne", "")
+	res, err := Run(context.Background(), cfg, "<-PayOne", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,11 +136,11 @@ func TestPayloadCellsStyleEquivalence(t *testing.T) {
 // The compact payload must be fanin-independent in size: lineage bytes at
 // fanin 50 stay close to fanin 1 (within framing noise).
 func TestCompactPayloadFaninIndependent(t *testing.T) {
-	small, err := Run(testConfig(1, 1), "<-PayOne", "")
+	small, err := Run(context.Background(), testConfig(1, 1), "<-PayOne", "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	big, err := Run(testConfig(50, 1), "<-PayOne", "")
+	big, err := Run(context.Background(), testConfig(50, 1), "<-PayOne", "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,6 +22,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -89,8 +90,13 @@ func (o *Optimizer) Force(nodeID string, strategies ...lineage.Strategy) {
 }
 
 // Choose solves the strategy-selection ILP for the given sample workload
-// and constraints and returns the plan plus a report.
-func (o *Optimizer) Choose(workload []query.Query, cons Constraints) (*Report, error) {
+// and constraints and returns the plan plus a report. The context is
+// checked between per-node candidate enumeration and before the ILP
+// solve; cancellation returns a wrapped ctx.Err().
+func (o *Optimizer) Choose(ctx context.Context, workload []query.Query, cons Constraints) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(workload) == 0 {
 		return nil, fmt.Errorf("opt: empty sample workload")
 	}
@@ -103,11 +109,17 @@ func (o *Optimizer) Choose(workload []query.Query, cons Constraints) (*Report, e
 	// Enumerate candidate strategies with estimates per node.
 	perNode := make(map[string][]Choice, len(nodes))
 	for _, nodeID := range nodes {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("opt: cancelled at node %q: %w", nodeID, err)
+		}
 		cands := o.candidates(nodeID, profiles[nodeID], wl)
 		cands = pruneCandidates(cands, wl, o.forced[nodeID], cons)
 		perNode[nodeID] = cands
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("opt: cancelled before solve: %w", err)
+	}
 	rep, err := o.solve(nodes, perNode, wl, cons)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package opt_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -85,7 +86,7 @@ func profiledRun(t *testing.T) (*workflow.Executor, *workflow.Run) {
 		"scale": {lineage.StratMap},
 		"udf":   {lineage.StratFullOne, lineage.StratPayOne},
 	}
-	run, err := exec.Execute(spec, plan, map[string]*array.Array{"src": src})
+	run, err := exec.Execute(context.Background(), spec, plan, map[string]*array.Array{"src": src})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ var sampleWorkload = []query.Query{
 func TestOptimizerPicksMapForBuiltins(t *testing.T) {
 	exec, run := profiledRun(t)
 	o := opt.New(run, exec.Stats())
-	rep, err := o.Choose(sampleWorkload, opt.Constraints{})
+	rep, err := o.Choose(context.Background(), sampleWorkload, opt.Constraints{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestOptimizerPicksMapForBuiltins(t *testing.T) {
 func TestOptimizerUnboundedPicksStores(t *testing.T) {
 	exec, run := profiledRun(t)
 	o := opt.New(run, exec.Stats())
-	rep, err := o.Choose(sampleWorkload, opt.Constraints{})
+	rep, err := o.Choose(context.Background(), sampleWorkload, opt.Constraints{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestOptimizerUnboundedPicksStores(t *testing.T) {
 func TestOptimizerTightBudgetFallsBackToBlackbox(t *testing.T) {
 	exec, run := profiledRun(t)
 	o := opt.New(run, exec.Stats())
-	rep, err := o.Choose(sampleWorkload, opt.Constraints{MaxDiskBytes: 10}) // 10 bytes: nothing fits
+	rep, err := o.Choose(context.Background(), sampleWorkload, opt.Constraints{MaxDiskBytes: 10}) // 10 bytes: nothing fits
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestOptimizerRespectsBudgetExactly(t *testing.T) {
 	exec, run := profiledRun(t)
 	o := opt.New(run, exec.Stats())
 	// Find a budget between the cheapest and the full store cost.
-	unbounded, err := o.Choose(sampleWorkload, opt.Constraints{})
+	unbounded, err := o.Choose(context.Background(), sampleWorkload, opt.Constraints{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestOptimizerRespectsBudgetExactly(t *testing.T) {
 		t.Skip("plan too small to halve")
 	}
 	o2 := opt.New(run, exec.Stats())
-	rep, err := o2.Choose(sampleWorkload, opt.Constraints{MaxDiskBytes: budget})
+	rep, err := o2.Choose(context.Background(), sampleWorkload, opt.Constraints{MaxDiskBytes: budget})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestOptimizerObjectiveMonotoneInBudget(t *testing.T) {
 	var prev float64 = -1
 	for _, budget := range []int64{1 << 10, 1 << 14, 1 << 18, 1 << 26, 0} {
 		o := opt.New(run, exec.Stats())
-		rep, err := o.Choose(sampleWorkload, opt.Constraints{MaxDiskBytes: budget})
+		rep, err := o.Choose(context.Background(), sampleWorkload, opt.Constraints{MaxDiskBytes: budget})
 		if err != nil {
 			t.Fatalf("budget %d: %v", budget, err)
 		}
@@ -196,7 +197,7 @@ func TestOptimizerForcedStrategy(t *testing.T) {
 	exec, run := profiledRun(t)
 	o := opt.New(run, exec.Stats())
 	o.Force("udf", lineage.StratPayMany)
-	rep, err := o.Choose(sampleWorkload, opt.Constraints{})
+	rep, err := o.Choose(context.Background(), sampleWorkload, opt.Constraints{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestOptimizerForcedUnavailable(t *testing.T) {
 	exec, run := profiledRun(t)
 	o := opt.New(run, exec.Stats())
 	o.Force("scale", lineage.StratPayOne) // built-ins don't support Pay
-	if _, err := o.Choose(sampleWorkload, opt.Constraints{}); err == nil {
+	if _, err := o.Choose(context.Background(), sampleWorkload, opt.Constraints{}); err == nil {
 		t.Fatal("forcing an unsupported strategy should fail")
 	}
 }
@@ -223,7 +224,7 @@ func TestOptimizerForcedUnavailable(t *testing.T) {
 func TestOptimizerEmptyWorkload(t *testing.T) {
 	exec, run := profiledRun(t)
 	o := opt.New(run, exec.Stats())
-	if _, err := o.Choose(nil, opt.Constraints{}); err == nil {
+	if _, err := o.Choose(context.Background(), nil, opt.Constraints{}); err == nil {
 		t.Fatal("empty workload accepted")
 	}
 }
@@ -233,7 +234,7 @@ func TestOptimizerEmptyWorkload(t *testing.T) {
 func TestOptimizedPlanRoundTrip(t *testing.T) {
 	exec, run := profiledRun(t)
 	o := opt.New(run, exec.Stats())
-	rep, err := o.Choose(sampleWorkload, opt.Constraints{})
+	rep, err := o.Choose(context.Background(), sampleWorkload, opt.Constraints{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestOptimizedPlanRoundTrip(t *testing.T) {
 	// Ground truth from the profiling run via tracing only.
 	truthExec := query.New(run, exec.Stats(), query.Options{})
 	q := sampleWorkload[0]
-	truthRes, err := truthExec.Execute(q)
+	truthRes, err := truthExec.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,12 +251,12 @@ func TestOptimizedPlanRoundTrip(t *testing.T) {
 	for i := range src.Data() {
 		src.Data()[i] = float64(i % 7)
 	}
-	run2, err := exec.Execute(run.Spec, rep.Plan, map[string]*array.Array{"src": src})
+	run2, err := exec.Execute(context.Background(), run.Spec, rep.Plan, map[string]*array.Array{"src": src})
 	if err != nil {
 		t.Fatalf("optimized plan failed to execute: %v", err)
 	}
 	qe := query.New(run2, exec.Stats(), query.DefaultOptions())
-	res, err := qe.Execute(q)
+	res, err := qe.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +274,7 @@ func TestOptimizedPlanRoundTrip(t *testing.T) {
 func TestOptimizerRuntimeConstraint(t *testing.T) {
 	exec, run := profiledRun(t)
 	o := opt.New(run, exec.Stats())
-	rep, err := o.Choose(sampleWorkload, opt.Constraints{MaxRuntime: time.Nanosecond})
+	rep, err := o.Choose(context.Background(), sampleWorkload, opt.Constraints{MaxRuntime: time.Nanosecond})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -34,7 +35,7 @@ type candidate struct {
 
 // executeStep resolves one path step, returning the report and the next
 // intermediate bitmap.
-func (e *Executor) executeStep(d Direction, st Step, cur *bitmap.Bitmap) (StepReport, *bitmap.Bitmap, error) {
+func (e *Executor) executeStep(ctx context.Context, d Direction, st Step, cur *bitmap.Bitmap) (StepReport, *bitmap.Bitmap, error) {
 	report := StepReport{Node: st.Node, InputIdx: st.InputIdx, InCells: cur.Count()}
 	destSpace, err := e.stepDestSpace(d, st)
 	if err != nil {
@@ -46,6 +47,10 @@ func (e *Executor) executeStep(d Direction, st Step, cur *bitmap.Bitmap) (StepRe
 	if err != nil {
 		return report, nil, err
 	}
+	// The run-wide MapCtx carries shared coordinate scratch; concurrent
+	// queries (QueryBatch) must not share it, so each step works on a
+	// private clone.
+	mc = mc.Clone()
 	start := time.Now()
 
 	// Entire-array optimization (paper §VI-C), two forms: an annotated
@@ -68,7 +73,7 @@ func (e *Executor) executeStep(d Direction, st Step, cur *bitmap.Bitmap) (StepRe
 		}
 	}
 
-	cands := e.candidates(d, st, node, mc, cur, next, &report)
+	cands := e.candidates(ctx, d, st, node, mc, cur, next, &report)
 	chosen := cands[0]
 	if e.opts.Dynamic {
 		for _, c := range cands[1:] {
@@ -100,7 +105,7 @@ func (e *Executor) executeStep(d Direction, st Step, cur *bitmap.Bitmap) (StepRe
 			next.Clear()
 			report.FellBack = true
 			report.AccessPath = chosen.label + "+" + PathReexec
-			if err := e.runReexec(d, st, cur, next, &report); err != nil {
+			if err := e.runReexec(ctx, d, st, cur, next, &report); err != nil {
 				return report, nil, err
 			}
 		}
@@ -120,7 +125,7 @@ func (e *Executor) record(r StepReport, reexec bool) {
 // estimates included. The slice is ordered by static preference: mapping
 // functions, then composite, then orientation-matched stores, then
 // mismatched stores, then re-execution.
-func (e *Executor) candidates(d Direction, st Step, node *workflow.Node, mc *workflow.MapCtx, cur, next *bitmap.Bitmap, report *StepReport) []candidate {
+func (e *Executor) candidates(ctx context.Context, d Direction, st Step, node *workflow.Node, mc *workflow.MapCtx, cur, next *bitmap.Bitmap, report *StepReport) []candidate {
 	var cands []candidate
 	strategies := e.run.Strategies(st.Node)
 	opStats := e.stats.Get(st.Node)
@@ -196,7 +201,7 @@ func (e *Executor) candidates(d Direction, st Step, node *workflow.Node, mc *wor
 		label: PathReexec,
 		cost:  e.reexecEstimate(st.Node),
 		run: func(abort func() bool) error {
-			return e.runReexec(d, st, cur, next, report)
+			return e.runReexec(ctx, d, st, cur, next, report)
 		},
 	})
 	return cands
@@ -329,7 +334,7 @@ func (e *Executor) runComposite(d Direction, st Step, node *workflow.Node, mc *w
 // runReexec re-runs the operator in tracing mode and joins the streamed
 // region pairs with the query cells (paper §V-B). Operators that cannot
 // trace resolve conservatively to the entire destination array.
-func (e *Executor) runReexec(d Direction, st Step, cur, next *bitmap.Bitmap, report *StepReport) error {
+func (e *Executor) runReexec(ctx context.Context, d Direction, st Step, cur, next *bitmap.Bitmap, report *StepReport) error {
 	sink := func(rp *lineage.RegionPair) error {
 		if d == Backward {
 			for _, out := range rp.Out {
@@ -351,7 +356,7 @@ func (e *Executor) runReexec(d Direction, st Step, cur, next *bitmap.Bitmap, rep
 		}
 		return nil
 	}
-	_, err := e.run.Reexecute(st.Node, sink)
+	_, err := e.run.Reexecute(ctx, st.Node, sink)
 	switch {
 	case err == nil || errors.Is(err, errTraceDone):
 		return nil

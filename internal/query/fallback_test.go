@@ -1,6 +1,7 @@
 package query_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -52,7 +53,7 @@ func TestDynamicFallbackTriggersAndStaysCorrect(t *testing.T) {
 	for i := range src.Data() {
 		src.Data()[i] = 1.0 // every cell bright: every cell has a payload
 	}
-	run, err := exec.Execute(spec, workflow.Plan{"mask": {lineage.StratPayOne}},
+	run, err := exec.Execute(context.Background(), spec, workflow.Plan{"mask": {lineage.StratPayOne}},
 		map[string]*array.Array{"src": src})
 	if err != nil {
 		t.Fatal(err)
@@ -67,7 +68,7 @@ func TestDynamicFallbackTriggersAndStaysCorrect(t *testing.T) {
 	want := resultCells(t, query.New(run, nil, query.Options{}), q)
 
 	qe := query.New(run, exec.Stats(), query.Options{EntireArray: true, Dynamic: true})
-	res, err := qe.Execute(q)
+	res, err := qe.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestDynamicPrefersCheapestPath(t *testing.T) {
 		lineage.StratFullOne, lineage.StratFullOneFwd,
 	}))
 	qe := query.New(run, exec.Stats(), query.Options{EntireArray: true, Dynamic: true})
-	res, err := qe.Execute(query.Query{
+	res, err := qe.Execute(context.Background(), query.Query{
 		Direction: query.Backward,
 		Cells:     []uint64{55},
 		Path:      []query.Step{{Node: "mask"}},
@@ -120,7 +121,7 @@ func TestStaticPrefersMatchedStore(t *testing.T) {
 		lineage.StratFullOneFwd, lineage.StratFullOne,
 	}))
 	qe := query.New(run, exec.Stats(), query.Options{EntireArray: true, Dynamic: false})
-	res, err := qe.Execute(query.Query{
+	res, err := qe.Execute(context.Background(), query.Query{
 		Direction: query.Backward,
 		Cells:     []uint64{55},
 		Path:      []query.Step{{Node: "mask"}},

@@ -20,6 +20,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -103,6 +104,11 @@ type Result struct {
 func (r *Result) Cells() []uint64 { return r.Bitmap.Cells(nil) }
 
 // Executor executes lineage queries against one workflow run.
+//
+// Executors are safe for concurrent use, and several executors over the
+// same run may execute queries in parallel: per-query state is local to
+// each Execute call, and run state (lineage stores, statistics) is read
+// through internally synchronized paths.
 type Executor struct {
 	run   *workflow.Run
 	stats *lineage.Collector
@@ -191,7 +197,14 @@ func (e *Executor) stepDestSpace(d Direction, st Step) (*grid.Space, error) {
 }
 
 // Execute runs the query and returns the final cell set.
-func (e *Executor) Execute(q Query) (*Result, error) {
+//
+// The context is checked at every path-step boundary and periodically
+// during black-box re-execution; cancellation aborts the trace with a
+// wrapped ctx.Err() identifying the step where work stopped.
+func (e *Executor) Execute(ctx context.Context, q Query) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := e.Validate(q); err != nil {
 		return nil, err
 	}
@@ -203,7 +216,10 @@ func (e *Executor) Execute(q Query) (*Result, error) {
 	cur := bitmap.FromCells(srcSpace, q.Cells)
 	res := &Result{}
 	for _, st := range q.Path {
-		report, next, err := e.executeStep(q.Direction, st, cur)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("query: cancelled at step %s[%d]: %w", st.Node, st.InputIdx, err)
+		}
+		report, next, err := e.executeStep(ctx, q.Direction, st, cur)
 		if err != nil {
 			return nil, fmt.Errorf("query: step %s[%d]: %w", st.Node, st.InputIdx, err)
 		}

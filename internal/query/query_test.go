@@ -1,6 +1,7 @@
 package query_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -121,7 +122,7 @@ func buildRun(t *testing.T, plan workflow.Plan) (*workflow.Executor, *workflow.R
 			src.Data()[i] = 0.1
 		}
 	}
-	run, err := exec.Execute(spec, plan, map[string]*array.Array{"src": src})
+	run, err := exec.Execute(context.Background(), spec, plan, map[string]*array.Array{"src": src})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ var testQueries = []query.Query{
 
 func resultCells(t *testing.T, e *query.Executor, q query.Query) []uint64 {
 	t.Helper()
-	res, err := e.Execute(q)
+	res, err := e.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,11 +225,11 @@ func TestEntireArrayOptimization(t *testing.T) {
 	fast := query.New(run, exec.Stats(), query.Options{EntireArray: true, Dynamic: false})
 	slow := query.New(run, exec.Stats(), query.Options{EntireArray: false, Dynamic: false})
 
-	fres, err := fast.Execute(q)
+	fres, err := fast.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sres, err := slow.Execute(q)
+	sres, err := slow.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestEntireArrayOptimization(t *testing.T) {
 	// Backward through the aggregate: the result must be the whole conv
 	// array either way.
 	bq := query.Query{Direction: query.Backward, Cells: []uint64{0}, Path: []query.Step{{Node: "agg"}}}
-	bres, err := fast.Execute(bq)
+	bres, err := fast.Execute(context.Background(), bq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,12 +274,12 @@ func TestConservativeAllToAllForOpaqueUDF(t *testing.T) {
 	spec := workflow.NewSpec("opaque")
 	spec.Add("udf", &blackboxUDF{Meta: workflow.Meta{OpName: "opaque", NIn: 1}}, workflow.FromExternal("src"))
 	src := array.MustNew("src", grid.Shape{4, 4})
-	run, err := exec.Execute(spec, nil, map[string]*array.Array{"src": src})
+	run, err := exec.Execute(context.Background(), spec, nil, map[string]*array.Array{"src": src})
 	if err != nil {
 		t.Fatal(err)
 	}
 	qe := query.New(run, exec.Stats(), query.DefaultOptions())
-	res, err := qe.Execute(query.Query{Direction: query.Backward, Cells: []uint64{3}, Path: []query.Step{{Node: "udf"}}})
+	res, err := qe.Execute(context.Background(), query.Query{Direction: query.Backward, Cells: []uint64{3}, Path: []query.Step{{Node: "udf"}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +303,7 @@ func TestQueryValidation(t *testing.T) {
 		{Direction: query.Backward, Cells: []uint64{1 << 40}, Path: []query.Step{{Node: "conv"}}},            // cell out of range
 	}
 	for i, q := range cases {
-		if _, err := qe.Execute(q); err == nil {
+		if _, err := qe.Execute(context.Background(), q); err == nil {
 			t.Fatalf("case %d accepted", i)
 		}
 	}
@@ -311,7 +312,7 @@ func TestQueryValidation(t *testing.T) {
 func TestQueryStatsRecorded(t *testing.T) {
 	exec, run := buildRun(t, mapPlan([]lineage.Strategy{lineage.StratFullOne}))
 	qe := query.New(run, exec.Stats(), query.DefaultOptions())
-	if _, err := qe.Execute(testQueries[0]); err != nil {
+	if _, err := qe.Execute(context.Background(), testQueries[0]); err != nil {
 		t.Fatal(err)
 	}
 	st := exec.Stats().Get("conv")
@@ -325,7 +326,7 @@ func TestEmptyIntermediateStops(t *testing.T) {
 	// map somewhere, so instead use a query whose starting cells are empty.
 	exec, run := buildRun(t, nil)
 	qe := query.New(run, exec.Stats(), query.DefaultOptions())
-	res, err := qe.Execute(query.Query{
+	res, err := qe.Execute(context.Background(), query.Query{
 		Direction: query.Forward,
 		Cells:     nil,
 		Path:      []query.Step{{Node: "scale"}, {Node: "mask"}},
@@ -344,7 +345,7 @@ func TestEmptyIntermediateStops(t *testing.T) {
 func TestStepReports(t *testing.T) {
 	exec, run := buildRun(t, mapPlan([]lineage.Strategy{lineage.StratPayOne}))
 	qe := query.New(run, exec.Stats(), query.Options{EntireArray: true, Dynamic: false})
-	res, err := qe.Execute(testQueries[2]) // backward mask -> scale
+	res, err := qe.Execute(context.Background(), testQueries[2]) // backward mask -> scale
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -376,7 +377,7 @@ func TestMismatchedOrientationStillCorrect(t *testing.T) {
 
 	exec, run := buildRun(t, mapPlan([]lineage.Strategy{lineage.StratFullOneFwd}))
 	qe := query.New(run, exec.Stats(), query.Options{EntireArray: false, Dynamic: false})
-	res, err := qe.Execute(q)
+	res, err := qe.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,8 +1,10 @@
 package workflow
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"subzero/internal/array"
@@ -34,11 +36,15 @@ var ErrNoTracing = errors.New("workflow: operator does not support tracing mode"
 // versioned array store (inputs, intermediates, outputs), the kvstore
 // manager providing per-operator lineage datastores, and the statistics
 // collector feeding the optimizer.
+//
+// An Executor is safe for concurrent use: run IDs are drawn atomically and
+// the array store, kvstore manager, and collector synchronize internally.
+// Each Execute call builds an independent *Run.
 type Executor struct {
 	versions *array.Versions
 	manager  *kvstore.Manager
 	stats    *lineage.Collector
-	runSeq   int
+	runSeq   atomic.Int64
 }
 
 // NewExecutor creates an executor.
@@ -76,7 +82,14 @@ type Run struct {
 // Execute runs the workflow over the named source arrays under the given
 // strategy plan. Source arrays are registered in the versioned store, as
 // are all intermediate and final outputs.
-func (e *Executor) Execute(spec *Spec, plan Plan, sources map[string]*array.Array) (*Run, error) {
+//
+// The context is checked at every operator boundary: if it is cancelled or
+// its deadline passes, execution stops before the next operator runs and
+// the wrapped ctx.Err() names the node where work stopped.
+func (e *Executor) Execute(ctx context.Context, spec *Spec, plan Plan, sources map[string]*array.Array) (*Run, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -87,9 +100,8 @@ func (e *Executor) Execute(spec *Spec, plan Plan, sources map[string]*array.Arra
 	if err != nil {
 		return nil, err
 	}
-	e.runSeq++
 	run := &Run{
-		ID:      fmt.Sprintf("%s-run%03d", spec.Name, e.runSeq),
+		ID:      fmt.Sprintf("%s-run%03d", spec.Name, e.runSeq.Add(1)),
 		Spec:    spec,
 		Plan:    plan,
 		inputs:  make(map[string][]*array.Array),
@@ -103,12 +115,37 @@ func (e *Executor) Execute(spec *Spec, plan Plan, sources map[string]*array.Arra
 	}
 	start := time.Now()
 	for _, node := range order {
+		if err := ctx.Err(); err != nil {
+			e.releasePartial(run)
+			return nil, fmt.Errorf("workflow: cancelled at node %q: %w", node.ID, err)
+		}
 		if err := e.runNode(run, node, sources); err != nil {
+			e.releasePartial(run)
 			return nil, fmt.Errorf("workflow: node %q: %w", node.ID, err)
 		}
 	}
 	run.Elapsed = time.Since(start)
 	return run, nil
+}
+
+// ReleaseRun frees everything a run materialized under its ID — the
+// intermediate and final array versions and every lineage store. Source
+// arrays registered under their own names are shared across runs and are
+// left in place. The run registry calls this from DropRun; Execute calls
+// it on its own abort path, where the run is never returned and its ID
+// would otherwise be unknowable to the caller.
+func (e *Executor) ReleaseRun(runID string) error {
+	prefix := runID + "/"
+	e.versions.DropPrefix(prefix)
+	_, err := e.manager.DropPrefix(prefix)
+	return err
+}
+
+// releasePartial is ReleaseRun for an aborted execution: close errors on
+// a partial run's stores are not actionable by the caller, who already
+// has the execution error, so they are dropped.
+func (e *Executor) releasePartial(run *Run) {
+	_ = e.ReleaseRun(run.ID)
 }
 
 func (e *Executor) runNode(run *Run, node *Node, sources map[string]*array.Array) error {
@@ -287,11 +324,23 @@ func (r *Run) LineageBytes() int64 {
 	return total
 }
 
+// reexecCtxCheckInterval bounds how many streamed region pairs are
+// processed between context checks during a tracing re-execution.
+const reexecCtxCheckInterval = 1024
+
 // Reexecute re-runs a node in tracing mode (cur_modes = {Full}), streaming
 // every region pair to sink instead of storing it — black-box lineage
 // resolution (paper §V-B). The sink may return lineage.ErrAborted (wrapped)
-// to stop early; Reexecute propagates it.
-func (r *Run) Reexecute(nodeID string, sink func(*lineage.RegionPair) error) (time.Duration, error) {
+// to stop early; Reexecute propagates it. The context is checked
+// periodically as pairs stream; cancellation aborts the trace with a
+// wrapped ctx.Err() naming the node.
+func (r *Run) Reexecute(ctx context.Context, nodeID string, sink func(*lineage.RegionPair) error) (time.Duration, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("workflow: reexecute %q: %w", nodeID, err)
+	}
 	node := r.Spec.Node(nodeID)
 	if node == nil {
 		return 0, fmt.Errorf("workflow: unknown node %q", nodeID)
@@ -306,6 +355,18 @@ func (r *Run) Reexecute(nodeID string, sink func(*lineage.RegionPair) error) (ti
 	mc, err := r.MapCtx(nodeID)
 	if err != nil {
 		return 0, err
+	}
+	if ctx.Done() != nil {
+		inner := sink
+		n := 0
+		sink = func(rp *lineage.RegionPair) error {
+			if n++; n%reexecCtxCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("workflow: reexecute %q: %w", nodeID, err)
+				}
+			}
+			return inner(rp)
+		}
 	}
 	writer := lineage.NewWriter(mc.OutSpace, mc.InSpaces, nil, nil, sink)
 	rc := NewRunCtx(lineage.NewModeSet(lineage.Full), writer)

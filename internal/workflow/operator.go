@@ -83,8 +83,10 @@ type EntireArraySafe interface {
 }
 
 // MapCtx carries the array geometry mapping functions need: output and
-// input spaces plus scratch for coordinate conversion. A MapCtx is created
-// per operator instance and is not safe for concurrent use.
+// input spaces plus scratch for coordinate conversion. The scratch makes
+// a MapCtx unsafe for concurrent use — callers that run mapping functions
+// in parallel (the query executor serving batched queries) work on a
+// Clone, which shares the immutable geometry but owns its scratch.
 type MapCtx struct {
 	OutSpace *grid.Space
 	InSpaces []*grid.Space
@@ -106,6 +108,10 @@ func NewMapCtx(outSpace *grid.Space, inSpaces []*grid.Space) *MapCtx {
 	}
 	return mc
 }
+
+// Clone returns a MapCtx over the same geometry with private scratch
+// buffers, safe to use concurrently with the original.
+func (mc *MapCtx) Clone() *MapCtx { return NewMapCtx(mc.OutSpace, mc.InSpaces) }
 
 // OutCoord unravels an output cell into the context's scratch coordinate.
 func (mc *MapCtx) OutCoord(idx uint64) grid.Coord {

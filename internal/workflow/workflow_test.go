@@ -1,6 +1,7 @@
 package workflow_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -109,7 +110,7 @@ func TestTopoOrderAndConsumers(t *testing.T) {
 
 func TestExecuteBlackbox(t *testing.T) {
 	e := newExecutor(t)
-	run, err := e.Execute(twoStepSpec(t), nil, map[string]*array.Array{"src": sourceArray(1, 2, 3)})
+	run, err := e.Execute(context.Background(), twoStepSpec(t), nil, map[string]*array.Array{"src": sourceArray(1, 2, 3)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestExecuteWithFullLineage(t *testing.T) {
 		"double": {lineage.StratFullOne},
 		"inc":    {lineage.StratFullMany, lineage.StratFullOneFwd},
 	}
-	run, err := e.Execute(twoStepSpec(t), plan, map[string]*array.Array{"src": sourceArray(1, 2, 3, 4)})
+	run, err := e.Execute(context.Background(), twoStepSpec(t), plan, map[string]*array.Array{"src": sourceArray(1, 2, 3, 4)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestExecuteWithFullLineage(t *testing.T) {
 func TestExecuteRejectsUnsupportedMode(t *testing.T) {
 	e := newExecutor(t)
 	plan := workflow.Plan{"double": {lineage.StratPayOne}} // built-ins don't do Pay
-	_, err := e.Execute(twoStepSpec(t), plan, map[string]*array.Array{"src": sourceArray(1)})
+	_, err := e.Execute(context.Background(), twoStepSpec(t), plan, map[string]*array.Array{"src": sourceArray(1)})
 	if err == nil || !strings.Contains(err.Error(), "does not support") {
 		t.Fatalf("unsupported mode accepted: %v", err)
 	}
@@ -187,7 +188,7 @@ func TestExecuteRejectsUnsupportedMode(t *testing.T) {
 
 func TestExecuteMissingSource(t *testing.T) {
 	e := newExecutor(t)
-	_, err := e.Execute(twoStepSpec(t), nil, nil)
+	_, err := e.Execute(context.Background(), twoStepSpec(t), nil, nil)
 	if err == nil || !strings.Contains(err.Error(), "unknown source") {
 		t.Fatalf("missing source accepted: %v", err)
 	}
@@ -197,10 +198,10 @@ func TestExecuteSourceFromVersions(t *testing.T) {
 	e := newExecutor(t)
 	// First run registers "src"; second run omits sources and resolves it
 	// from the versioned store.
-	if _, err := e.Execute(twoStepSpec(t), nil, map[string]*array.Array{"src": sourceArray(5)}); err != nil {
+	if _, err := e.Execute(context.Background(), twoStepSpec(t), nil, map[string]*array.Array{"src": sourceArray(5)}); err != nil {
 		t.Fatal(err)
 	}
-	run2, err := e.Execute(twoStepSpec(t), nil, nil)
+	run2, err := e.Execute(context.Background(), twoStepSpec(t), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,12 +213,12 @@ func TestExecuteSourceFromVersions(t *testing.T) {
 
 func TestReexecuteTracing(t *testing.T) {
 	e := newExecutor(t)
-	run, err := e.Execute(twoStepSpec(t), nil, map[string]*array.Array{"src": sourceArray(1, 2, 3)})
+	run, err := e.Execute(context.Background(), twoStepSpec(t), nil, map[string]*array.Array{"src": sourceArray(1, 2, 3)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var pairs int
-	dur, err := run.Reexecute("double", func(rp *lineage.RegionPair) error {
+	dur, err := run.Reexecute(context.Background(), "double", func(rp *lineage.RegionPair) error {
 		pairs++
 		if len(rp.Out) != 1 || len(rp.Ins) != 1 {
 			t.Fatalf("unexpected pair %+v", rp)
@@ -252,11 +253,11 @@ func TestReexecuteNoTracing(t *testing.T) {
 	e := newExecutor(t)
 	spec := workflow.NewSpec("opaque")
 	spec.Add("udf", &blackboxOnlyOp{Meta: workflow.Meta{OpName: "opaque", NIn: 1}}, workflow.FromExternal("src"))
-	run, err := e.Execute(spec, nil, map[string]*array.Array{"src": sourceArray(1)})
+	run, err := e.Execute(context.Background(), spec, nil, map[string]*array.Array{"src": sourceArray(1)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := run.Reexecute("udf", func(*lineage.RegionPair) error { return nil }); err != workflow.ErrNoTracing {
+	if _, err := run.Reexecute(context.Background(), "udf", func(*lineage.RegionPair) error { return nil }); err != workflow.ErrNoTracing {
 		t.Fatalf("err=%v, want ErrNoTracing", err)
 	}
 }
@@ -276,7 +277,7 @@ func TestExecuteShapeMismatch(t *testing.T) {
 	e := newExecutor(t)
 	spec := workflow.NewSpec("liar")
 	spec.Add("liar", &shapeLiar{Meta: workflow.Meta{OpName: "liar", NIn: 1}}, workflow.FromExternal("src"))
-	_, err := e.Execute(spec, nil, map[string]*array.Array{"src": sourceArray(1)})
+	_, err := e.Execute(context.Background(), spec, nil, map[string]*array.Array{"src": sourceArray(1)})
 	if err == nil || !strings.Contains(err.Error(), "produced shape") {
 		t.Fatalf("shape mismatch accepted: %v", err)
 	}

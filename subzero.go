@@ -18,16 +18,28 @@
 //
 // # Quick start
 //
+//	ctx := context.Background()
 //	sys, _ := subzero.NewSystem()              // in-memory lineage stores
 //	spec := subzero.NewSpec("pipeline")
 //	spec.Add("double", subzero.UnaryOp("double", func(x float64) float64 { return 2 * x }),
 //		subzero.FromExternal("src"))
 //	src, _ := subzero.NewArray("src", subzero.Shape{4, 4})
-//	run, _ := sys.Execute(spec, subzero.Plan{"double": {subzero.StratMap}},
+//	run, _ := sys.Execute(ctx, spec, subzero.Plan{"double": {subzero.StratMap}},
 //		map[string]*subzero.Array{"src": src})
-//	res, _ := sys.Query(run, subzero.BackwardQuery([]uint64{5},
+//	res, _ := sys.Query(ctx, run, subzero.BackwardQuery([]uint64{5},
 //		subzero.Step{Node: "double"}))
 //	fmt.Println(res.Cells())                   // -> [5]
+//
+// Every blocking entry point takes a leading context.Context; cancelling
+// it aborts workflow execution at the next operator boundary and query
+// tracing at the next path step, returning the wrapped ctx.Err().
+//
+// A System is safe for concurrent use. Completed runs are registered
+// under durable IDs — sys.Run(id) retrieves one, sys.DropRun(id)
+// releases its lineage stores and array versions — and every query or
+// optimize call accepts either the *Run or its ID string. QueryBatch
+// executes many independent lineage queries over a bounded worker pool
+// (see WithParallelism), the serving primitive for concurrent traffic.
 //
 // Custom operators implement the Operator interface (embed Meta for the
 // boilerplate) and any of the BackwardMapper / ForwardMapper /

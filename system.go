@@ -1,8 +1,12 @@
 package subzero
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"time"
 
 	"subzero/internal/array"
 	"subzero/internal/kvstore"
@@ -17,20 +21,37 @@ import (
 // workflow executor, the versioned array store, per-operator lineage
 // datastores, the statistics collector, the lineage query executor, and
 // the strategy optimizer.
+//
+// A System is safe for concurrent use: workflows may execute while
+// lineage queries run against earlier runs, and QueryBatch serves many
+// queries over a bounded worker pool. Completed runs are tracked in a
+// registry addressable by durable run ID (see Run, Runs, DropRun), so
+// query and optimize calls accept either the live *Run pointer or its ID.
 type System struct {
 	versions *array.Versions
 	manager  *kvstore.Manager
 	stats    *lineage.Collector
 	exec     *workflow.Executor
 	qopts    query.Options
+	par      int
+
+	mu       sync.RWMutex
+	runs     map[string]*workflow.Run
+	runOrder []string
 }
+
+// RunRef identifies an executed run in query and optimize calls: pass
+// either the *Run returned by Execute or the run's ID string (resolved
+// through the system's run registry).
+type RunRef = any
 
 // Option configures a System.
 type Option func(*config)
 
 type config struct {
-	storageDir string
-	qopts      query.Options
+	storageDir  string
+	qopts       query.Options
+	parallelism int
 }
 
 // WithStorageDir stores lineage in log-structured files under dir; the
@@ -44,11 +65,20 @@ func WithQueryOptions(o QueryOptions) Option {
 	return func(c *config) { c.qopts = o }
 }
 
+// WithParallelism bounds the QueryBatch worker pool at n concurrent
+// queries. The default is runtime.GOMAXPROCS(0).
+func WithParallelism(n int) Option {
+	return func(c *config) { c.parallelism = n }
+}
+
 // NewSystem creates a SubZero instance.
 func NewSystem(options ...Option) (*System, error) {
 	cfg := config{qopts: query.DefaultOptions()}
 	for _, o := range options {
 		o(&cfg)
+	}
+	if cfg.parallelism <= 0 {
+		cfg.parallelism = runtime.GOMAXPROCS(0)
 	}
 	mgr, err := kvstore.NewManager(cfg.storageDir)
 	if err != nil {
@@ -62,43 +92,225 @@ func NewSystem(options ...Option) (*System, error) {
 		stats:    stats,
 		exec:     workflow.NewExecutor(versions, mgr, stats),
 		qopts:    cfg.qopts,
+		par:      cfg.parallelism,
+		runs:     make(map[string]*workflow.Run),
 	}, nil
 }
 
 // Execute runs a workflow under the given lineage strategy plan (nil
 // means black-box everywhere). Source arrays are registered in the
-// no-overwrite versioned store along with every intermediate result.
-func (s *System) Execute(spec *Spec, plan Plan, sources map[string]*Array) (*Run, error) {
-	return s.exec.Execute(spec, plan, sources)
+// no-overwrite versioned store along with every intermediate result. The
+// completed run is registered under its durable ID (run.ID) and stays
+// addressable through Run until DropRun releases it.
+//
+// The context is checked at every operator boundary; cancellation aborts
+// the workflow with a wrapped ctx.Err() naming the node where work
+// stopped, and nothing is registered.
+func (s *System) Execute(ctx context.Context, spec *Spec, plan Plan, sources map[string]*Array) (*Run, error) {
+	run, err := s.exec.Execute(ctx, spec, plan, sources)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.runs[run.ID] = run
+	s.runOrder = append(s.runOrder, run.ID)
+	s.mu.Unlock()
+	return run, nil
 }
 
-// Query executes a lineage query against a run using the system's default
-// query options.
-func (s *System) Query(run *Run, q Query) (*QueryResult, error) {
-	return s.QueryWith(run, q, s.qopts)
+// Run returns a completed run by its durable ID.
+func (s *System) Run(id string) (*Run, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	run, ok := s.runs[id]
+	if !ok {
+		return nil, fmt.Errorf("subzero: unknown run %q", id)
+	}
+	return run, nil
 }
 
-// QueryWith executes a lineage query with explicit options.
-func (s *System) QueryWith(run *Run, q Query, opts QueryOptions) (*QueryResult, error) {
-	return query.New(run, s.stats, opts).Execute(q)
+// Runs returns the IDs of all registered runs in completion order.
+func (s *System) Runs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, len(s.runOrder))
+	copy(out, s.runOrder)
+	return out
 }
 
-// Optimize runs the lineage strategy optimizer against a profiling run: it
-// returns the plan minimizing the sample workload's expected query cost
-// within the constraints. Re-run the workflow under report.Plan to apply
-// it.
-func (s *System) Optimize(run *Run, workload []Query, cons Constraints) (*OptimizeReport, error) {
-	return opt.New(run, s.stats).Choose(workload, cons)
+// DropRun removes a run from the registry and releases its resources:
+// every lineage store the run materialized (closing and deleting backing
+// files for disk-backed systems) and every intermediate and final array
+// version the run produced. Source arrays registered under their own
+// names are shared across runs and are not touched.
+//
+// Dropping a run invalidates it: queries still in flight against it fail
+// with a store error rather than returning partial results, and new
+// queries by its ID fail with an unknown-run error. Callers serving
+// concurrent traffic should stop routing queries to a run before
+// dropping it.
+func (s *System) DropRun(id string) error {
+	s.mu.Lock()
+	run, ok := s.runs[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("subzero: unknown run %q", id)
+	}
+	delete(s.runs, id)
+	for i, rid := range s.runOrder {
+		if rid == id {
+			s.runOrder = append(s.runOrder[:i], s.runOrder[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	if err := s.exec.ReleaseRun(run.ID); err != nil {
+		return fmt.Errorf("subzero: drop run %q lineage: %w", id, err)
+	}
+	return nil
+}
+
+// resolveRun maps a RunRef to the underlying run.
+func (s *System) resolveRun(ref RunRef) (*workflow.Run, error) {
+	switch r := ref.(type) {
+	case *workflow.Run:
+		if r != nil {
+			return r, nil
+		}
+	case string:
+		return s.Run(r)
+	}
+	return nil, fmt.Errorf("subzero: run reference must be a *Run or a run ID string, got %T", ref)
+}
+
+// Query executes a lineage query against a run (a *Run or run ID) using
+// the system's default query options.
+func (s *System) Query(ctx context.Context, run RunRef, q Query) (*QueryResult, error) {
+	return s.QueryWith(ctx, run, q, s.qopts)
+}
+
+// QueryWith executes a lineage query with explicit options. The context
+// is checked at every path-step boundary and during black-box
+// re-execution; cancellation aborts the trace with a wrapped ctx.Err().
+func (s *System) QueryWith(ctx context.Context, run RunRef, q Query, opts QueryOptions) (*QueryResult, error) {
+	r, err := s.resolveRun(run)
+	if err != nil {
+		return nil, err
+	}
+	return query.New(r, s.stats, opts).Execute(ctx, q)
+}
+
+// BatchReport aggregates one QueryBatch call.
+type BatchReport struct {
+	Queries   int           // queries submitted
+	Succeeded int           // queries that returned a result
+	Failed    int           // queries that returned an error
+	Cells     uint64        // total result cells across successful queries
+	QueryTime time.Duration // summed per-query execution time
+	Elapsed   time.Duration // wall-clock time for the whole batch
+}
+
+// BatchResult holds per-query outcomes plus the aggregate report.
+// Results and Errs are index-aligned with the submitted queries: exactly
+// one of Results[i], Errs[i] is non-nil.
+type BatchResult struct {
+	Results []*QueryResult
+	Errs    []error
+	Report  BatchReport
+}
+
+// QueryBatch executes independent lineage queries concurrently over a
+// bounded worker pool (see WithParallelism) — the serving primitive for
+// multi-user query traffic. Queries are independent: one query failing
+// does not stop the others, and per-query errors are reported in the
+// returned BatchResult rather than as the call's error (which is reserved
+// for an unresolvable run reference).
+//
+// Cancelling the context stops dispatch; queries not yet started fail
+// with a wrapped ctx.Err(), and in-flight queries abort at their next
+// step boundary.
+func (s *System) QueryBatch(ctx context.Context, run RunRef, queries []Query, opts QueryOptions) (*BatchResult, error) {
+	r, err := s.resolveRun(run)
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(queries)
+	br := &BatchResult{
+		Results: make([]*QueryResult, n),
+		Errs:    make([]error, n),
+	}
+	start := time.Now()
+	workers := s.par
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				br.Results[i], br.Errs[i] = query.New(r, s.stats, opts).Execute(ctx, queries[i])
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			for j := i; j < n; j++ {
+				br.Errs[j] = fmt.Errorf("subzero: query %d not started: %w", j, ctx.Err())
+			}
+			break dispatch
+		case idx <- i:
+		}
+	}
+	close(idx)
+	wg.Wait()
+	br.Report = BatchReport{Queries: n, Elapsed: time.Since(start)}
+	for i := range br.Results {
+		if br.Errs[i] != nil {
+			br.Report.Failed++
+			continue
+		}
+		br.Report.Succeeded++
+		br.Report.Cells += br.Results[i].Bitmap.Count()
+		br.Report.QueryTime += br.Results[i].Elapsed
+	}
+	return br, nil
+}
+
+// Optimize runs the lineage strategy optimizer against a profiling run
+// (a *Run or run ID): it returns the plan minimizing the sample
+// workload's expected query cost within the constraints. Re-run the
+// workflow under report.Plan to apply it.
+func (s *System) Optimize(ctx context.Context, run RunRef, workload []Query, cons Constraints) (*OptimizeReport, error) {
+	r, err := s.resolveRun(run)
+	if err != nil {
+		return nil, err
+	}
+	return opt.New(r, s.stats).Choose(ctx, workload, cons)
 }
 
 // OptimizeForced is Optimize with user-pinned strategies per node (paper
 // §VII: "users can manually specify operator specific strategies").
-func (s *System) OptimizeForced(run *Run, workload []Query, cons Constraints, forced map[string][]Strategy) (*OptimizeReport, error) {
-	o := opt.New(run, s.stats)
+func (s *System) OptimizeForced(ctx context.Context, run RunRef, workload []Query, cons Constraints, forced map[string][]Strategy) (*OptimizeReport, error) {
+	r, err := s.resolveRun(run)
+	if err != nil {
+		return nil, err
+	}
+	o := opt.New(r, s.stats)
 	for node, strategies := range forced {
 		o.Force(node, strategies...)
 	}
-	return o.Choose(workload, cons)
+	return o.Choose(ctx, workload, cons)
 }
 
 // Stats returns the statistics collector's per-operator data.
@@ -116,8 +328,14 @@ func (s *System) ArrayBytes() int64 { return s.versions.TotalBytes() }
 // Versions exposes the no-overwrite array store.
 func (s *System) Versions() *array.Versions { return s.versions }
 
-// Close releases all lineage stores.
-func (s *System) Close() error { return s.manager.Close() }
+// Close releases all lineage stores and clears the run registry.
+func (s *System) Close() error {
+	s.mu.Lock()
+	s.runs = make(map[string]*workflow.Run)
+	s.runOrder = nil
+	s.mu.Unlock()
+	return s.manager.Close()
+}
 
 // ---------------------------------------------------------------------
 // Built-in operator constructors (the instrumented SciDB-style operator

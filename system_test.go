@@ -1,6 +1,7 @@
 package subzero_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -31,7 +32,7 @@ func buildSystem(t *testing.T, opts ...subzero.Option) (*subzero.System, *subzer
 
 func TestSystemExecuteAndQuery(t *testing.T) {
 	sys, spec, src := buildSystem(t)
-	run, err := sys.Execute(spec, subzero.Plan{
+	run, err := sys.Execute(context.Background(), spec, subzero.Plan{
 		"double": {subzero.StratMap},
 		"sum":    {subzero.StratMap},
 	}, map[string]*subzero.Array{"src": src})
@@ -45,7 +46,7 @@ func TestSystemExecuteAndQuery(t *testing.T) {
 	if out.Get(0) != 15 { // mean of 2*(0..15) = 15
 		t.Fatalf("mean=%f", out.Get(0))
 	}
-	res, err := sys.Query(run, subzero.BackwardQuery([]uint64{0},
+	res, err := sys.Query(context.Background(), run, subzero.BackwardQuery([]uint64{0},
 		subzero.Step{Node: "sum"}, subzero.Step{Node: "double"}))
 	if err != nil {
 		t.Fatal(err)
@@ -76,7 +77,7 @@ func TestSystemWithStorageDir(t *testing.T) {
 	spec.Add("id", subzero.UnaryOp("id", func(x float64) float64 { return x }),
 		subzero.FromExternal("src"))
 	src, _ := subzero.NewArray("src", subzero.Shape{8})
-	if _, err := sys.Execute(spec, subzero.Plan{"id": {subzero.StratFullOne}},
+	if _, err := sys.Execute(context.Background(), spec, subzero.Plan{"id": {subzero.StratFullOne}},
 		map[string]*subzero.Array{"src": src}); err != nil {
 		t.Fatal(err)
 	}
@@ -87,18 +88,18 @@ func TestSystemWithStorageDir(t *testing.T) {
 
 func TestSystemQueryOptions(t *testing.T) {
 	sys, spec, src := buildSystem(t, subzero.WithQueryOptions(subzero.QueryOptions{}))
-	run, err := sys.Execute(spec, subzero.Plan{
+	run, err := sys.Execute(context.Background(), spec, subzero.Plan{
 		"double": {subzero.StratMap}, "sum": {subzero.StratMap},
 	}, map[string]*subzero.Array{"src": src})
 	if err != nil {
 		t.Fatal(err)
 	}
 	q := subzero.BackwardQuery([]uint64{0}, subzero.Step{Node: "sum"})
-	slow, err := sys.Query(run, q) // options disable entire-array
+	slow, err := sys.Query(context.Background(), run, q) // options disable entire-array
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, err := sys.QueryWith(run, q, subzero.DefaultQueryOptions())
+	fast, err := sys.QueryWith(context.Background(), run, q, subzero.DefaultQueryOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestSystemQueryOptions(t *testing.T) {
 
 func TestSystemOptimize(t *testing.T) {
 	sys, spec, src := buildSystem(t)
-	run, err := sys.Execute(spec, subzero.Plan{
+	run, err := sys.Execute(context.Background(), spec, subzero.Plan{
 		"double": {subzero.StratMap}, "sum": {subzero.StratMap},
 	}, map[string]*subzero.Array{"src": src})
 	if err != nil {
@@ -124,7 +125,7 @@ func TestSystemOptimize(t *testing.T) {
 	workload := []subzero.Query{
 		subzero.BackwardQuery([]uint64{3}, subzero.Step{Node: "double"}),
 	}
-	rep, err := sys.Optimize(run, workload, subzero.Constraints{MaxDiskBytes: subzero.MB(1)})
+	rep, err := sys.Optimize(context.Background(), run, workload, subzero.Constraints{MaxDiskBytes: subzero.MB(1)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestSystemOptimize(t *testing.T) {
 		}
 	}
 	// Forced strategies flow through the facade.
-	rep, err = sys.OptimizeForced(run, workload, subzero.Constraints{},
+	rep, err = sys.OptimizeForced(context.Background(), run, workload, subzero.Constraints{},
 		map[string][]subzero.Strategy{"double": {subzero.StratFullOne}})
 	if err != nil {
 		t.Fatal(err)
