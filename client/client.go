@@ -1,0 +1,215 @@
+// Package client is the typed Go client for SubZero's lineage service
+// (internal/server, cmd/subzero-serve). It round-trips every endpoint
+// using the wire DTOs of the root package, so query results fetched over
+// HTTP are directly comparable with in-process System results.
+//
+// All methods take a context; cancelling it aborts the HTTP request,
+// which in turn cancels the server-side operation at its next boundary —
+// a disconnected client never keeps an operator re-execution running.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"subzero"
+)
+
+// Client talks to one lineage service.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test instrumentation). The default is http.DefaultClient.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) {
+		if hc != nil {
+			c.hc = hc
+		}
+	}
+}
+
+// New creates a client for the service at baseURL (e.g.
+// "http://localhost:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a structured non-2xx response from the service.
+type APIError struct {
+	Status  int    // HTTP status code
+	Message string // server-provided message
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("subzero service: %s (http %d)", e.Message, e.Status)
+}
+
+// IsNotFound reports whether err is an APIError with status 404.
+func IsNotFound(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound
+}
+
+// do issues one request and decodes the response into out (unless out is
+// nil). Non-2xx responses become *APIError, preserving the server's
+// structured message when present.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		blob, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		body = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var wire subzero.WireError
+		blob, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		msg := strings.TrimSpace(string(blob))
+		if err := json.Unmarshal(blob, &wire); err == nil && wire.Error.Message != "" {
+			msg = wire.Error.Message
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// Health fetches GET /v1/healthz. A draining server answers 503, which
+// surfaces as an *APIError with that status.
+func (c *Client) Health(ctx context.Context) (*subzero.WireHealth, error) {
+	var out subzero.WireHealth
+	if err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches GET /v1/stats.
+func (c *Client) Stats(ctx context.Context) (*subzero.WireStats, error) {
+	var out subzero.WireStats
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Workflows lists the server's executable workflow catalog.
+func (c *Client) Workflows(ctx context.Context) ([]subzero.WireWorkflowInfo, error) {
+	var out []subzero.WireWorkflowInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/workflows", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Execute runs a catalog workflow on the server (POST /v1/runs) and
+// returns the registered run.
+func (c *Client) Execute(ctx context.Context, req subzero.WireExecuteRequest) (*subzero.WireRunInfo, error) {
+	var out subzero.WireRunInfo
+	if err := c.do(ctx, http.MethodPost, "/v1/runs", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Runs lists every registered run.
+func (c *Client) Runs(ctx context.Context) ([]*subzero.WireRunInfo, error) {
+	var out []*subzero.WireRunInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/runs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Run fetches one run by ID.
+func (c *Client) Run(ctx context.Context, id string) (*subzero.WireRunInfo, error) {
+	var out subzero.WireRunInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/runs/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DropRun releases a run's lineage stores and array versions on the
+// server (DELETE /v1/runs/{id}).
+func (c *Client) DropRun(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/runs/"+url.PathEscape(id), nil, nil)
+}
+
+// Query executes one lineage query against a run. opts may be nil for the
+// server's defaults (every optimization enabled).
+func (c *Client) Query(ctx context.Context, runID string, q subzero.Query, opts *subzero.WireQueryOptions) (*subzero.WireQueryResult, error) {
+	req := subzero.WireQueryRequest{Query: subzero.NewWireQuery(q), Options: opts}
+	var out subzero.WireQueryResult
+	if err := c.do(ctx, http.MethodPost, "/v1/runs/"+url.PathEscape(runID)+"/query", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// QueryBatch executes many independent queries against a run over the
+// server's bounded worker pool. The response is index-aligned with qs.
+func (c *Client) QueryBatch(ctx context.Context, runID string, qs []subzero.Query, opts *subzero.WireQueryOptions) (*subzero.WireBatchResponse, error) {
+	req := subzero.WireBatchRequest{Queries: make([]subzero.WireQuery, len(qs)), Options: opts}
+	for i, q := range qs {
+		req.Queries[i] = subzero.NewWireQuery(q)
+	}
+	var out subzero.WireBatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/runs/"+url.PathEscape(runID)+"/query-batch", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Optimize runs the strategy optimizer against a profiling run. forced
+// pins strategies per node (node -> wire strategy names); it may be nil.
+func (c *Client) Optimize(ctx context.Context, runID string, workload []subzero.Query, cons subzero.Constraints, forced map[string][]string) (*subzero.WireOptimizeReport, error) {
+	req := subzero.WireOptimizeRequest{
+		Workload:    make([]subzero.WireQuery, len(workload)),
+		Constraints: subzero.NewWireConstraints(cons),
+		Forced:      forced,
+	}
+	for i, q := range workload {
+		req.Workload[i] = subzero.NewWireQuery(q)
+	}
+	var out subzero.WireOptimizeReport
+	if err := c.do(ctx, http.MethodPost, "/v1/runs/"+url.PathEscape(runID)+"/optimize", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -44,6 +44,16 @@ type options struct {
 	dir        string
 }
 
+// jsonReport collects every rendered table when -json is set, for the
+// machine-readable BENCH.json artifact tracked across changes.
+var jsonReport *benchfmt.JSONReport
+
+// render prints a table and records it in the JSON report when enabled.
+func render(t *benchfmt.Table) {
+	t.Render(os.Stdout)
+	jsonReport.Add(t)
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("subzero-bench", flag.ContinueOnError)
 	opts := options{}
@@ -52,8 +62,12 @@ func run(args []string) error {
 	fs.IntVar(&opts.genScale, "gen-scale", 100, "genomics patient replication (100 = paper)")
 	fs.IntVar(&opts.microSize, "micro-size", 1000, "microbenchmark array side (1000 = paper)")
 	fs.StringVar(&opts.dir, "dir", "", "lineage storage directory (default: in-memory stores)")
+	jsonPath := fs.String("json", "", "also write the figure tables as machine-readable JSON to this path (e.g. BENCH.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonPath != "" {
+		jsonReport = &benchfmt.JSONReport{}
 	}
 	if *quick {
 		opts.astroScale = 0.2
@@ -79,13 +93,28 @@ func run(args []string) error {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 		}
-		return nil
+		return writeJSON(*jsonPath)
 	}
 	fn, ok := runners[cmd]
 	if !ok {
 		return fmt.Errorf("unknown figure %q", cmd)
 	}
-	return fn(ctx, opts)
+	if err := fn(ctx, opts); err != nil {
+		return err
+	}
+	return writeJSON(*jsonPath)
+}
+
+// writeJSON flushes the collected tables when -json is set.
+func writeJSON(path string) error {
+	if path == "" || jsonReport == nil {
+		return nil
+	}
+	if err := jsonReport.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d figure tables to %s\n", jsonReport.Len(), path)
+	return nil
 }
 
 // astroResults caches one full astronomy pass per process so fig5a and
@@ -127,7 +156,7 @@ func fig5a(ctx context.Context, opts options) error {
 			r.RunTime,
 			benchfmt.Ratio(float64(r.RunTime), float64(base.RunTime)))
 	}
-	t.Render(os.Stdout)
+	render(t)
 	return nil
 }
 
@@ -145,7 +174,7 @@ func fig5b(ctx context.Context, opts options) error {
 		}
 		t.AddRow(row...)
 	}
-	t.Render(os.Stdout)
+	render(t)
 	return nil
 }
 
@@ -186,7 +215,7 @@ func fig6a(ctx context.Context, opts options) error {
 			r.RunTime,
 			benchfmt.Ratio(float64(r.RunTime), float64(base.RunTime)))
 	}
-	t.Render(os.Stdout)
+	render(t)
 	return nil
 }
 
@@ -200,7 +229,7 @@ func genQueryTable(title string, results []*genomics.StrategyResult, pick func(*
 		}
 		t.AddRow(row...)
 	}
-	t.Render(os.Stdout)
+	render(t)
 }
 
 func fig6b(ctx context.Context, opts options) error {
@@ -240,7 +269,7 @@ func fig7(ctx context.Context, opts options) error {
 		}
 		t.AddRow(row...)
 	}
-	t.Render(os.Stdout)
+	render(t)
 	for _, r := range results {
 		fmt.Printf("  %s plan:\n", r.Name)
 		for _, id := range genomics.UDFIDs {
@@ -302,7 +331,7 @@ func fig8(ctx context.Context, opts options) error {
 				t.AddRow(strat, fanin, benchfmt.Bytes(r.LineageBytes), r.RunTime)
 			}
 		}
-		t.Render(os.Stdout)
+		render(t)
 	}
 	return nil
 }
@@ -322,7 +351,7 @@ func fig9(ctx context.Context, opts options) error {
 				t.AddRow(strat, fanin, r.BackwardQuery, r.ForwardQuery)
 			}
 		}
-		t.Render(os.Stdout)
+		render(t)
 	}
 	return nil
 }

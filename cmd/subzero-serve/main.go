@@ -1,0 +1,118 @@
+// Command subzero-serve runs SubZero as a network service: an HTTP/JSON
+// API over one lineage System, serving workflow execution, run lifecycle,
+// lineage queries (single and batched), optimizer runs, and
+// introspection. See the README's "Serving" section for the endpoint
+// table and curl examples.
+//
+//	subzero-serve [-addr :8080] [-dir /var/lib/subzero] [-parallelism 8]
+//	              [-max-inflight 64] [-drain-timeout 30s] [-quiet]
+//
+// Ctrl-C (or SIGTERM) drains: the health check flips to "draining", new
+// heavy requests are shed with 503, and in-flight queries run to
+// completion (up to -drain-timeout) before the process exits. Lineage is
+// a recoverable cache — with -dir unset everything lives in memory, and
+// either way a restarted daemon rebuilds state by re-executing workflows.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"subzero"
+	"subzero/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "subzero-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	dir := flag.String("dir", "", "lineage storage directory (default: in-memory stores)")
+	parallelism := flag.Int("parallelism", 0, "query-batch worker pool size (default GOMAXPROCS)")
+	maxInFlight := flag.Int("max-inflight", server.DefaultMaxInFlight, "bounded in-flight request cap")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
+	quiet := flag.Bool("quiet", false, "disable per-request logging")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "subzero-serve: ", log.LstdFlags)
+
+	var opts []subzero.Option
+	if *dir != "" {
+		opts = append(opts, subzero.WithStorageDir(*dir))
+	}
+	if *parallelism > 0 {
+		opts = append(opts, subzero.WithParallelism(*parallelism))
+	}
+	sys, err := subzero.NewSystem(opts...)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	reqLogger := logger
+	if *quiet {
+		reqLogger = nil
+	}
+	srv, err := server.New(server.Config{
+		System:      sys,
+		MaxInFlight: *maxInFlight,
+		Logger:      reqLogger,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("serving on %s (store=%s, max in-flight %d)", *addr, storeDesc(*dir), *maxInFlight)
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop advertising health, shed new work, let active
+	// queries finish.
+	logger.Printf("signal received; draining (timeout %s)", *drainTimeout)
+	srv.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("drain incomplete: %v; closing", err)
+		hs.Close()
+	}
+	m := srv.MetricsSnapshot()
+	logger.Printf("served %d requests (%d rejected, %d cancelled); bye", m.Requests, m.Rejected, m.Cancelled)
+	return <-errc
+}
+
+func storeDesc(dir string) string {
+	if dir == "" {
+		return "memory"
+	}
+	return dir
+}

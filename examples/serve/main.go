@@ -1,0 +1,153 @@
+// Serving walkthrough: lineage as a service. This example boots the HTTP
+// serving layer in-process on a loopback port, then acts as a remote
+// consumer: everything below the "client side" marker goes through the
+// typed Go client and the wire format only — exactly what an external
+// application (a visualization, a notebook, another service) would do.
+//
+// The client executes the genomics workflow by name, runs the clinician's
+// interactive lineage queries singly and as a concurrent batch, asks the
+// optimizer for a cheaper plan under a storage budget, inspects server
+// stats, and finally drops the run and drains the server.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"subzero"
+	"subzero/client"
+	"subzero/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	// --- server side: one System behind the HTTP layer ------------------
+	sys, err := subzero.NewSystem(subzero.WithParallelism(4))
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	srv, err := server.New(server.Config{System: sys, MaxInFlight: 16})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("lineage service listening on %s\n\n", base)
+
+	// --- client side: wire format only from here on ---------------------
+	c := client.New(base)
+
+	workflows, err := c.Workflows(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Println("executable workflows:")
+	for _, wf := range workflows {
+		fmt.Printf("  %-10s plans=%v default=%s\n", wf.Name, wf.Plans, wf.DefaultPlan)
+	}
+
+	// Execute the genomics workflow under the interactive-visualization
+	// configuration (payload lineage + forward-optimized full lineage).
+	run, err := c.Execute(ctx, subzero.WireExecuteRequest{
+		Workflow: "genomics",
+		Plan:     "PayBoth",
+		Scale:    4,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nexecuted %s: run %s, %d nodes, %s, %d lineage bytes\n",
+		run.Workflow, run.ID, run.Nodes, time.Duration(run.ElapsedNS), run.LineageBytes)
+
+	// The clinician clicks a relapse prediction: which training data
+	// supports it? The query is built from static workflow knowledge —
+	// node ids and cell indices — nothing server-side is needed.
+	backPath := []subzero.Step{
+		{Node: "H-predict", InputIdx: 1},
+		{Node: "F-model"},
+		{Node: "E-extract-train"},
+		{Node: "tr-norm"},
+		{Node: "tr-center"},
+		{Node: "tr-t"},
+	}
+	res, err := c.Query(ctx, run.ID, subzero.BackwardQuery([]uint64{0, 1, 2}, backPath...), nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nprediction -> training data: %d cells in %s\n",
+		len(res.Cells), time.Duration(res.ElapsedNS))
+	for _, st := range res.Steps {
+		fmt.Printf("  step %-16s via %-24s -> %d cells\n", st.Node, st.AccessPath, st.OutCells)
+	}
+
+	// A dashboard fires many independent interactions at once: a batch
+	// runs them over the server's bounded worker pool.
+	fwdPath := []subzero.Step{
+		{Node: "tr-t"},
+		{Node: "tr-center"},
+		{Node: "tr-norm"},
+		{Node: "E-extract-train"},
+		{Node: "F-model"},
+		{Node: "H-predict", InputIdx: 1},
+	}
+	var batch []subzero.Query
+	for i := 0; i < 8; i++ {
+		batch = append(batch, subzero.BackwardQuery([]uint64{uint64(i)}, backPath...))
+		batch = append(batch, subzero.ForwardQuery([]uint64{uint64(i * 3)}, fwdPath...))
+	}
+	br, err := c.QueryBatch(ctx, run.ID, batch, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nbatch: %d queries, %d ok, %d failed, %d cells, wall %s (summed query time %s)\n",
+		br.Report.Queries, br.Report.Succeeded, br.Report.Failed, br.Report.Cells,
+		time.Duration(br.Report.ElapsedNS), time.Duration(br.Report.QueryTimeNS))
+
+	// Ask the optimizer: under a 10 MB budget, which strategies should
+	// each operator store for this workload?
+	rep, err := c.Optimize(ctx, run.ID, batch[:4], subzero.Constraints{MaxDiskBytes: subzero.MB(10)}, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\noptimizer (%s): est. disk %d bytes, objective %.3g\n", rep.Status, rep.DiskBytes, rep.Objective)
+	for _, node := range []string{"E-extract-train", "F-model", "G-extract-test", "H-predict"} {
+		fmt.Printf("  %-16s %v\n", node, rep.Plan[node])
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nserver stats: %d runs, %d lineage bytes, %d requests served, %d rejected\n",
+		stats.Runs, stats.LineageBytes, stats.Server.Requests, stats.Server.Rejected)
+
+	// Lineage is a recoverable cache: dropping the run frees its stores
+	// and array versions; re-executing the named workflow recreates them.
+	if err := c.DropRun(ctx, run.ID); err != nil {
+		return err
+	}
+	fmt.Printf("dropped run %s\n", run.ID)
+
+	// Graceful drain, as subzero-serve does on SIGINT.
+	srv.Drain()
+	shutdownCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	return hs.Shutdown(shutdownCtx)
+}

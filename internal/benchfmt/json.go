@@ -1,0 +1,78 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// JSONTable is the machine-readable form of one rendered Table. Rows keep
+// the same formatted strings as the text output, so a tracked BENCH.json
+// diff reads like the printed figures.
+type JSONTable struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// JSONTable converts the table's accumulated rows.
+func (t *Table) JSONTable() JSONTable {
+	rows := make([][]string, len(t.rows))
+	for i, row := range t.rows {
+		rows[i] = append([]string(nil), row...)
+	}
+	return JSONTable{Title: t.Title, Headers: append([]string(nil), t.Headers...), Rows: rows}
+}
+
+// JSONReport accumulates figure tables for a machine-readable benchmark
+// artifact (BENCH.json), so the bench trajectory can be tracked across
+// changes. It is safe for concurrent Add calls.
+type JSONReport struct {
+	mu      sync.Mutex
+	figures []JSONTable
+}
+
+// Add records one table.
+func (r *JSONReport) Add(t *Table) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.figures = append(r.figures, t.JSONTable())
+}
+
+// Len returns how many tables were recorded.
+func (r *JSONReport) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.figures)
+}
+
+// jsonEnvelope is the on-disk layout of a JSONReport.
+type jsonEnvelope struct {
+	Figures []JSONTable `json:"figures"`
+}
+
+// WriteFile marshals the report to path, indented for diffable tracking.
+func (r *JSONReport) WriteFile(path string) error {
+	r.mu.Lock()
+	figures := append([]JSONTable(nil), r.figures...)
+	r.mu.Unlock()
+	if figures == nil {
+		figures = []JSONTable{}
+	}
+	blob, err := json.MarshalIndent(jsonEnvelope{Figures: figures}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchfmt: marshal report: %w", err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return fmt.Errorf("benchfmt: write report: %w", err)
+	}
+	return nil
+}

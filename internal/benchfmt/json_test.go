@@ -1,0 +1,66 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestJSONReportRoundTrip(t *testing.T) {
+	tbl := NewTable("Figure X", "strategy", "disk", "runtime")
+	tbl.AddRow("FullOne", Bytes(2048), 1500*time.Microsecond)
+	tbl.AddRow("Map", Bytes(0), 10*time.Nanosecond)
+
+	var rep JSONReport
+	rep.Add(tbl)
+	if rep.Len() != 1 {
+		t.Fatalf("Len = %d", rep.Len())
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Figures []JSONTable `json:"figures"`
+	}
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Figures) != 1 {
+		t.Fatalf("figures = %d", len(decoded.Figures))
+	}
+	fig := decoded.Figures[0]
+	if fig.Title != "Figure X" || len(fig.Headers) != 3 || len(fig.Rows) != 2 {
+		t.Fatalf("figure = %+v", fig)
+	}
+	// Cells carry the same formatting as the text tables.
+	if fig.Rows[0][1] != "2.0KB" || fig.Rows[0][2] != "1.50ms" {
+		t.Fatalf("row formatting = %v", fig.Rows[0])
+	}
+}
+
+func TestJSONReportEmptyWritesValidEnvelope(t *testing.T) {
+	var rep JSONReport
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := decoded["figures"]; !ok {
+		t.Fatalf("envelope missing figures: %s", blob)
+	}
+}

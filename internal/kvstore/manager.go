@@ -150,19 +150,45 @@ func (m *Manager) Close() error {
 	return firstErr
 }
 
-// sanitize maps a namespace to a safe file-name fragment.
+// sanitize maps a namespace to a safe file-name fragment, injectively:
+// distinct namespaces always get distinct fragments, so two operators'
+// lineage stores can never silently merge on disk (previously "a/b" and
+// "a_b" both mapped to "a_b").
+//
+// The encoding is a prefix-free escape: lowercase letters, digits, '-',
+// and '.' pass through; '_' becomes "__"; an uppercase letter becomes
+// "_u" plus its lowercase form; any other rune becomes "_x<hex>_".
+// Decoding left to right is unambiguous — after a '_' the next byte is
+// '_' (a literal underscore), 'u' (one case-folded letter), or 'x' (a
+// hex escape terminated by '_') — so the mapping is invertible and
+// therefore injective. Because the output alphabet contains no uppercase
+// at all, injectivity survives case-insensitive filesystems ("Node" and
+// "node" get distinct files on macOS/Windows too).
+//
+// Layouts written by the older lossy mapping are not migrated: a legacy
+// file whose name no longer matches is simply never opened again, which
+// is safe because lineage is a recoverable cache — re-executing the
+// workflow rebuilds it.
 func sanitize(ns string) string {
+	if ns == "" {
+		// "_e_" is not producible by the escape above ('_' is always
+		// followed by '_', 'u', or 'x'), so it cannot collide.
+		return "_e_"
+	}
 	var b strings.Builder
 	for _, r := range ns {
 		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '.':
 			b.WriteRune(r)
-		default:
+		case r >= 'A' && r <= 'Z':
 			b.WriteByte('_')
+			b.WriteByte('u')
+			b.WriteRune(r - 'A' + 'a')
+		case r == '_':
+			b.WriteString("__")
+		default:
+			fmt.Fprintf(&b, "_x%x_", r)
 		}
-	}
-	if b.Len() == 0 {
-		return "store"
 	}
 	return b.String()
 }

@@ -1,0 +1,180 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"subzero"
+	"subzero/internal/astro"
+	"subzero/internal/genomics"
+)
+
+// Workflow is one catalog entry: a named, server-side workflow
+// definition. Operators are Go code, so workflows cannot travel over the
+// wire; instead the service executes workflows it knows by name, with the
+// request parameterizing the source generator (scale, seed) and the
+// lineage plan.
+type Workflow struct {
+	Name        string
+	Description string
+	// Plans lists the named plan configurations; DefaultPlan is used when
+	// a request names none.
+	Plans       []string
+	DefaultPlan string
+	// Plan resolves a named plan configuration.
+	Plan func(name string) (subzero.Plan, error)
+	// Build constructs the spec and generated source arrays. scale <= 0
+	// and seed == 0 select the workflow's defaults.
+	Build func(scale float64, seed int64) (*subzero.Spec, map[string]*subzero.Array, error)
+}
+
+// Catalog is a concurrency-safe registry of named workflows.
+type Catalog struct {
+	mu   sync.RWMutex
+	byID map[string]*Workflow
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{byID: make(map[string]*Workflow)}
+}
+
+// Register adds a workflow; duplicate names error.
+func (c *Catalog) Register(w *Workflow) error {
+	if w == nil || w.Name == "" || w.Build == nil {
+		return fmt.Errorf("server: catalog entry needs a name and a builder")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.byID[w.Name]; dup {
+		return fmt.Errorf("server: duplicate workflow %q", w.Name)
+	}
+	c.byID[w.Name] = w
+	return nil
+}
+
+// Get returns a workflow by name.
+func (c *Catalog) Get(name string) (*Workflow, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	w, ok := c.byID[name]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown workflow %q", name)
+	}
+	return w, nil
+}
+
+// List returns the registered workflows sorted by name.
+func (c *Catalog) List() []*Workflow {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Workflow, 0, len(c.byID))
+	for _, w := range c.byID {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Serving-side scale caps: one HTTP request must not be able to commission
+// an arbitrarily large workflow execution.
+const (
+	maxGenomicsScale = 500
+	maxAstroScale    = 2.0
+)
+
+// DefaultCatalog registers the two paper benchmark workflows.
+func DefaultCatalog() *Catalog {
+	c := NewCatalog()
+	must := func(err error) {
+		if err != nil {
+			panic(err) // static registrations; a failure is a programming error
+		}
+	}
+	must(c.Register(&Workflow{
+		Name:        "genomics",
+		Description: "relapse-prediction workflow (paper §II-B): 10 mapping built-ins + 4 payload UDFs over a patient-feature matrix; scale is the patient replication factor",
+		Plans:       genomics.StrategyNames,
+		DefaultPlan: "PayBoth",
+		Plan:        genomics.Plan,
+		Build: func(scale float64, seed int64) (*subzero.Spec, map[string]*subzero.Array, error) {
+			cfg := genomics.DefaultGenConfig()
+			if scale > 0 {
+				if scale > maxGenomicsScale {
+					return nil, nil, fmt.Errorf("server: genomics scale %g exceeds cap %d", scale, maxGenomicsScale)
+				}
+				if scale != math.Trunc(scale) {
+					return nil, nil, fmt.Errorf("server: genomics scale must be a whole patient-replication factor, got %g", scale)
+				}
+				cfg = cfg.Scaled(int(scale))
+			} else {
+				cfg = cfg.Scaled(2)
+			}
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			spec, err := genomics.NewSpec()
+			if err != nil {
+				return nil, nil, err
+			}
+			data, err := genomics.Generate(cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			return spec, map[string]*subzero.Array{"train": data.Train, "test": data.Test}, nil
+		},
+	}))
+	must(c.Register(&Workflow{
+		Name:        "astronomy",
+		Description: "LSST image pipeline (paper §II-A): 22 mapping built-ins + 4 UDFs over two exposures; scale is the linear image scale (1.0 = 512x2000)",
+		Plans:       astro.StrategyNames,
+		DefaultPlan: "SubZero",
+		Plan:        astro.Plan,
+		Build: func(scale float64, seed int64) (*subzero.Spec, map[string]*subzero.Array, error) {
+			cfg := astro.DefaultGenConfig()
+			if scale > 0 {
+				if scale > maxAstroScale {
+					return nil, nil, fmt.Errorf("server: astronomy scale %g exceeds cap %g", scale, maxAstroScale)
+				}
+				cfg = cfg.Scaled(scale)
+			} else {
+				cfg = cfg.Scaled(0.125)
+			}
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			spec, err := astro.NewSpec()
+			if err != nil {
+				return nil, nil, err
+			}
+			sky, err := astro.Generate(cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			return spec, map[string]*subzero.Array{"img1": sky.Exposure1, "img2": sky.Exposure2}, nil
+		},
+	}))
+	return c
+}
+
+// resolvePlan picks the plan for an execute request: an explicit wire plan
+// wins, then a named configuration, then the workflow's default.
+func resolvePlan(w *Workflow, req subzero.WireExecuteRequest) (subzero.Plan, error) {
+	if len(req.ExplicitPlan) > 0 {
+		plan, err := req.ExplicitPlan.Plan()
+		if err != nil {
+			return nil, fmt.Errorf("explicit plan: %w", err)
+		}
+		return plan, nil
+	}
+	name := req.Plan
+	if name == "" {
+		name = w.DefaultPlan
+	}
+	if name == "" || w.Plan == nil {
+		return nil, nil // blackbox everywhere
+	}
+	return w.Plan(name)
+}

@@ -1,0 +1,514 @@
+// Package server is SubZero's lineage-as-a-service layer: an HTTP/JSON
+// API over the public System, exposing workflow execution, run lifecycle,
+// lineage queries (single and batched over the System's worker pool),
+// optimizer runs, and introspection.
+//
+// Design points, following the SMOKE argument that fine-grained lineage
+// earns its keep only when external consumers get answers at interactive
+// speed:
+//
+//   - Every request's context flows into the System's cancellation paths,
+//     so a client that disconnects mid-query aborts operator re-execution
+//     at the next boundary instead of burning the worker pool.
+//   - A bounded in-flight cap sheds load with 503s instead of queueing
+//     unboundedly; /v1/healthz flips to "draining" before shutdown so load
+//     balancers stop routing while active queries drain.
+//   - Errors are structured (subzero.WireError) and every request is
+//     logged with its latency.
+//
+// Like the lineage it serves, the daemon's state is a recoverable cache:
+// runs live in memory (and their lineage optionally in log files) and can
+// always be re-created by re-executing the named workflow.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"subzero"
+	"subzero/internal/kvstore"
+)
+
+// DefaultMaxInFlight bounds concurrently served heavy requests when the
+// config leaves MaxInFlight unset.
+const DefaultMaxInFlight = 64
+
+// maxBodyBytes caps request bodies; query batches are the largest
+// legitimate payloads and stay far below this.
+const maxBodyBytes = 32 << 20
+
+// Config assembles a Server.
+type Config struct {
+	// System is the lineage system to serve. Required.
+	System *subzero.System
+	// Catalog names the workflows the service may execute; nil selects
+	// DefaultCatalog.
+	Catalog *Catalog
+	// MaxInFlight bounds concurrently served heavy requests (execute,
+	// query, query-batch, optimize, drop); excess requests are rejected
+	// with 503. <= 0 selects DefaultMaxInFlight.
+	MaxInFlight int
+	// Logger receives one line per request; nil disables request logging.
+	Logger *log.Logger
+}
+
+// Metrics is a point-in-time snapshot of the serving counters.
+type Metrics struct {
+	Requests     int64 // requests accepted into a handler
+	InFlight     int64 // heavy requests currently executing
+	Rejected     int64 // requests shed by the in-flight cap or drain
+	Cancelled    int64 // requests aborted by client disconnect/timeout
+	ClientErrors int64 // 4xx responses
+	ServerErrors int64 // 5xx responses
+}
+
+// Server is the HTTP handler for the lineage service.
+type Server struct {
+	sys     *subzero.System
+	catalog *Catalog
+	mux     *http.ServeMux
+	sem     chan struct{}
+	logger  *log.Logger
+	started time.Time
+
+	draining atomic.Bool
+
+	requests     atomic.Int64
+	inFlight     atomic.Int64
+	rejected     atomic.Int64
+	cancelled    atomic.Int64
+	clientErrors atomic.Int64
+	serverErrors atomic.Int64
+}
+
+// New builds a Server from the config.
+func New(cfg Config) (*Server, error) {
+	if cfg.System == nil {
+		return nil, fmt.Errorf("server: config needs a System")
+	}
+	if cfg.Catalog == nil {
+		cfg.Catalog = DefaultCatalog()
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	s := &Server{
+		sys:     cfg.System,
+		catalog: cfg.Catalog,
+		mux:     http.NewServeMux(),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		logger:  cfg.Logger,
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/workflows", s.handleWorkflows)
+	s.mux.HandleFunc("GET /v1/runs", s.handleListRuns)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
+	s.mux.HandleFunc("POST /v1/runs", s.limited(s.handleExecute))
+	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.limited(s.handleDropRun))
+	s.mux.HandleFunc("POST /v1/runs/{id}/query", s.limited(s.handleQuery))
+	s.mux.HandleFunc("POST /v1/runs/{id}/query-batch", s.limited(s.handleQueryBatch))
+	s.mux.HandleFunc("POST /v1/runs/{id}/optimize", s.limited(s.handleOptimize))
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		s.writeError(w, http.StatusNotFound, "no route for %s %s", r.Method, r.URL.Path)
+	})
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler with request accounting and logging.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(rec, r)
+	switch {
+	case rec.status >= 500:
+		s.serverErrors.Add(1)
+	case rec.status >= 400:
+		s.clientErrors.Add(1)
+	}
+	if s.logger != nil {
+		s.logger.Printf("%s %s -> %d (%s)", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+	}
+}
+
+// Drain marks the server as draining: health checks flip to 503 and new
+// heavy requests are rejected, while requests already in flight run to
+// completion. Call before http.Server.Shutdown.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// MetricsSnapshot returns the current serving counters.
+func (s *Server) MetricsSnapshot() Metrics {
+	return Metrics{
+		Requests:     s.requests.Load(),
+		InFlight:     s.inFlight.Load(),
+		Rejected:     s.rejected.Load(),
+		Cancelled:    s.cancelled.Load(),
+		ClientErrors: s.clientErrors.Load(),
+		ServerErrors: s.serverErrors.Load(),
+	}
+}
+
+// statusRecorder captures the response status for logging and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// limited enforces the bounded in-flight cap and the drain flag around a
+// heavy handler.
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			s.rejected.Add(1)
+			s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusServiceUnavailable, "server at capacity (%d requests in flight)", cap(s.sem))
+			return
+		}
+		s.inFlight.Add(1)
+		defer func() {
+			s.inFlight.Add(-1)
+			<-s.sem
+		}()
+		h(w, r)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	health := subzero.WireHealth{
+		Status:   "ok",
+		UptimeNS: time.Since(s.started).Nanoseconds(),
+		Runs:     len(s.sys.Runs()),
+		InFlight: s.inFlight.Load(),
+	}
+	status := http.StatusOK
+	if s.draining.Load() {
+		health.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, status, health)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	all := s.sys.AllStats()
+	ops := make([]subzero.WireOpStats, len(all))
+	for i, st := range all {
+		ops[i] = subzero.NewWireOpStats(st)
+	}
+	m := s.MetricsSnapshot()
+	s.writeJSON(w, http.StatusOK, subzero.WireStats{
+		Runs:         len(s.sys.Runs()),
+		LineageBytes: s.sys.LineageBytes(),
+		ArrayBytes:   s.sys.ArrayBytes(),
+		Ops:          ops,
+		Server: subzero.WireServerMetrics{
+			Requests:     m.Requests,
+			InFlight:     m.InFlight,
+			Rejected:     m.Rejected,
+			Cancelled:    m.Cancelled,
+			ClientErrors: m.ClientErrors,
+			ServerErrors: m.ServerErrors,
+		},
+	})
+}
+
+func (s *Server) handleWorkflows(w http.ResponseWriter, r *http.Request) {
+	list := s.catalog.List()
+	out := make([]subzero.WireWorkflowInfo, len(list))
+	for i, wf := range list {
+		out[i] = subzero.WireWorkflowInfo{
+			Name:        wf.Name,
+			Description: wf.Description,
+			Plans:       wf.Plans,
+			DefaultPlan: wf.DefaultPlan,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	var req subzero.WireExecuteRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Workflow == "" {
+		s.writeError(w, http.StatusBadRequest, "request names no workflow")
+		return
+	}
+	wf, err := s.catalog.Get(req.Workflow)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	plan, err := resolvePlan(wf, req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	spec, sources, err := wf.Build(req.Scale, req.Seed)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	run, err := s.sys.Execute(r.Context(), spec, plan, sources)
+	if err != nil {
+		s.writeSystemError(w, r, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/runs/"+run.ID)
+	s.writeJSON(w, http.StatusCreated, subzero.NewWireRunInfo(run))
+}
+
+func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
+	ids := s.sys.Runs()
+	out := make([]*subzero.WireRunInfo, 0, len(ids))
+	for _, id := range ids {
+		run, err := s.sys.Run(id)
+		if err != nil {
+			continue // dropped between list and get
+		}
+		out = append(out, subzero.NewWireRunInfo(run))
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.resolveRun(w, r)
+	if !ok {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, subzero.NewWireRunInfo(run))
+}
+
+func (s *Server) handleDropRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.sys.DropRun(id); err != nil {
+		s.writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.resolveRun(w, r)
+	if !ok {
+		return
+	}
+	var req subzero.WireQueryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	q, err := req.Query.Query()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.sys.ValidateQuery(run, q); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := s.sys.QueryWith(r.Context(), run, q, req.Options.Options())
+	if err != nil {
+		s.writeSystemError(w, r, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, subzero.NewWireQueryResult(res))
+}
+
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.resolveRun(w, r)
+	if !ok {
+		return
+	}
+	var req subzero.WireBatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeError(w, http.StatusBadRequest, "batch contains no queries")
+		return
+	}
+	queries := make([]subzero.Query, len(req.Queries))
+	for i, wq := range req.Queries {
+		q, err := wq.Query()
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "query %d: %v", i, err)
+			return
+		}
+		queries[i] = q
+	}
+	br, err := s.sys.QueryBatch(r.Context(), run, queries, req.Options.Options())
+	if err != nil {
+		s.writeSystemError(w, r, err)
+		return
+	}
+	// A batch whose every query died on the request context counts as a
+	// cancelled request even though QueryBatch itself returned no error.
+	if ctxErr := r.Context().Err(); ctxErr != nil && br.Report.Failed == br.Report.Queries {
+		s.cancelled.Add(1)
+	}
+	resp := subzero.WireBatchResponse{
+		Results: make([]*subzero.WireQueryResult, len(queries)),
+		Errors:  make([]string, len(queries)),
+		Report:  subzero.NewWireBatchReport(br.Report),
+	}
+	for i := range queries {
+		if br.Errs[i] != nil {
+			resp.Errors[i] = br.Errs[i].Error()
+			continue
+		}
+		resp.Results[i] = subzero.NewWireQueryResult(br.Results[i])
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.resolveRun(w, r)
+	if !ok {
+		return
+	}
+	var req subzero.WireOptimizeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	workload := make([]subzero.Query, len(req.Workload))
+	for i, wq := range req.Workload {
+		q, err := wq.Query()
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "workload query %d: %v", i, err)
+			return
+		}
+		workload[i] = q
+	}
+	forced := make(map[string][]subzero.Strategy, len(req.Forced))
+	for node, names := range req.Forced {
+		for _, name := range names {
+			strat, err := subzero.ParseStrategy(name)
+			if err != nil {
+				s.writeError(w, http.StatusBadRequest, "forced strategy for %q: %v", node, err)
+				return
+			}
+			forced[node] = append(forced[node], strat)
+		}
+	}
+	rep, err := s.sys.OptimizeForced(r.Context(), run, workload, req.Constraints.Constraints(), forced)
+	if err != nil {
+		if isCancellation(r, err) {
+			s.abortCancelled(w, r, err)
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, subzero.NewWireOptimizeReport(rep))
+}
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+// resolveRun maps the {id} path segment to a registered run, writing a
+// structured 404 when it is unknown.
+func (s *Server) resolveRun(w http.ResponseWriter, r *http.Request) (*subzero.Run, bool) {
+	id := r.PathValue("id")
+	run, err := s.sys.Run(id)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, "%v", err)
+		return nil, false
+	}
+	return run, true
+}
+
+// decode reads a JSON body into dst, writing a structured 400 on failure.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		if errors.Is(err, io.EOF) {
+			s.writeError(w, http.StatusBadRequest, "request body is empty")
+			return false
+		}
+		s.writeError(w, http.StatusBadRequest, "malformed request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// isCancellation reports whether err is the request context dying under a
+// System call — the wrapped ctx.Err() of the cancellation paths.
+func isCancellation(r *http.Request, err error) bool {
+	if r.Context().Err() == nil {
+		return false
+	}
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// StatusClientClosedRequest is the non-standard (nginx) status the server
+// records when a client disconnect aborts work mid-flight; the client is
+// gone, so the code is for logs and metrics rather than the wire.
+const StatusClientClosedRequest = 499
+
+// abortCancelled accounts for a request whose client went away mid-query.
+func (s *Server) abortCancelled(w http.ResponseWriter, r *http.Request, err error) {
+	s.cancelled.Add(1)
+	s.writeError(w, StatusClientClosedRequest, "request cancelled: %v", err)
+}
+
+// writeSystemError maps a System error onto the wire: cancellations are
+// accounted separately; a query that raced a DropRun fails on the run's
+// closed lineage store and becomes a 404 rather than a server fault;
+// everything else is a 500.
+func (s *Server) writeSystemError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case isCancellation(r, err):
+		s.abortCancelled(w, r, err)
+	case errors.Is(err, kvstore.ErrClosed):
+		s.writeError(w, http.StatusNotFound, "run was dropped mid-request: %v", err)
+	default:
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, subzero.WireError{Error: subzero.WireErrorBody{
+		Status:  status,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil && s.logger != nil {
+		s.logger.Printf("encode response: %v", err)
+	}
+}

@@ -1,0 +1,475 @@
+package server_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"subzero"
+	"subzero/client"
+	"subzero/internal/genomics"
+	"subzero/internal/server"
+)
+
+// newTestService boots a System behind an httptest server and returns the
+// pieces plus a ready client.
+func newTestService(t *testing.T, catalog *server.Catalog) (*subzero.System, *server.Server, *client.Client) {
+	t.Helper()
+	sys, err := subzero.NewSystem(subzero.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	srv, err := server.New(server.Config{System: sys, Catalog: catalog, MaxInFlight: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return sys, srv, client.New(ts.URL)
+}
+
+// TestServerEndToEndGenomics executes a genomics workflow through the
+// client, fires parallel query batches, and asserts every result is
+// byte-identical to in-process System.QueryBatch — the HTTP layer must be
+// a transparent window onto the engine.
+func TestServerEndToEndGenomics(t *testing.T) {
+	ctx := context.Background()
+	sys, _, c := newTestService(t, nil)
+
+	// Catalog introspection round-trips.
+	wfs, err := c.Workflows(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, wf := range wfs {
+		names[wf.Name] = true
+	}
+	if !names["genomics"] || !names["astronomy"] {
+		t.Fatalf("catalog missing defaults: %v", names)
+	}
+
+	info, err := c.Execute(ctx, subzero.WireExecuteRequest{
+		Workflow: "genomics", Plan: "PayBoth", Scale: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Nodes != 14 || info.Workflow != "genomics" {
+		t.Fatalf("run info: %+v", info)
+	}
+
+	// The run registered via HTTP is the same run the in-process System
+	// holds; build the benchmark workload from it.
+	run, err := sys.Run(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qmap, err := genomics.Queries(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queries []subzero.Query
+	for _, qn := range genomics.QueryNames {
+		queries = append(queries, qmap[qn])
+	}
+
+	want, err := sys.QueryBatch(ctx, run, queries, subzero.DefaultQueryOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Parallel clients hammer query-batch; every response must match the
+	// in-process results cell for cell.
+	const clients = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	var mismatches atomic.Int64
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			br, err := c.QueryBatch(ctx, info.ID, queries, nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if br.Report.Failed != 0 {
+				errs <- &client.APIError{Status: 500, Message: strings.Join(br.Errors, "; ")}
+				return
+			}
+			for i := range queries {
+				got := br.Results[i].Cells
+				wantCells := want.Results[i].Cells()
+				if len(got) != len(wantCells) {
+					mismatches.Add(1)
+					return
+				}
+				for j := range got {
+					if got[j] != wantCells[j] {
+						mismatches.Add(1)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := mismatches.Load(); n != 0 {
+		t.Fatalf("%d clients saw results differing from in-process QueryBatch", n)
+	}
+
+	// Single query over HTTP matches too, including step diagnostics.
+	res, err := c.Query(ctx, info.ID, queries[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != len(want.Results[0].Steps) {
+		t.Fatalf("step count: %d != %d", len(res.Steps), len(want.Results[0].Steps))
+	}
+
+	// Optimizer over HTTP.
+	rep, err := c.Optimize(ctx, info.ID, queries, subzero.Constraints{MaxDiskBytes: subzero.MB(20)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != "optimal" || len(rep.Plan) == 0 {
+		t.Fatalf("optimize report: %+v", rep)
+	}
+
+	// Stats and lifecycle.
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Runs != 1 || stats.LineageBytes <= 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	runs, err := c.Runs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].ID != info.ID {
+		t.Fatalf("runs: %+v", runs)
+	}
+	if err := c.DropRun(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(ctx, info.ID); !client.IsNotFound(err) {
+		t.Fatalf("dropped run fetch: %v", err)
+	}
+	if err := c.DropRun(ctx, info.ID); !client.IsNotFound(err) {
+		t.Fatalf("double drop: %v", err)
+	}
+}
+
+// slowTraceOp passes data through untouched; during black-box tracing
+// (any Run call after the first) it signals `started` and then emits
+// region pairs until the streaming context check aborts it — giving the
+// cancellation test a window that stays open exactly as long as the
+// server-side context is alive.
+type slowTraceOp struct {
+	subzero.Meta
+	calls   atomic.Int32
+	started chan struct{}
+	once    sync.Once
+}
+
+func (o *slowTraceOp) OutShape(in []subzero.Shape) (subzero.Shape, error) {
+	return in[0].Clone(), nil
+}
+
+func (o *slowTraceOp) Run(rc *subzero.RunCtx, ins []*subzero.Array) (*subzero.Array, error) {
+	tracing := o.calls.Add(1) > 1
+	size := uint64(len(ins[0].Data()))
+	if rc.NeedsPairs() {
+		if tracing {
+			o.once.Do(func() { close(o.started) })
+			// Effectively unbounded: the ctx check every 1024 streamed
+			// pairs is the only way out. Bounded far above any test
+			// duration so a regression hangs the test visibly instead of
+			// passing quietly.
+			for i := uint64(0); i < 1<<40; i++ {
+				if err := rc.LWrite([]uint64{i % size}, []uint64{i % size}); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			for i := uint64(0); i < size; i++ {
+				if err := rc.LWrite([]uint64{i}, []uint64{i}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return ins[0].Clone().WithName(o.OpName), nil
+}
+
+// TestClientDisconnectCancelsReexecution kills a client mid-query and
+// asserts the server aborts the underlying operator re-execution via the
+// wrapped ctx.Err() cancellation path (observable as the server's
+// cancelled counter).
+func TestClientDisconnectCancelsReexecution(t *testing.T) {
+	op := &slowTraceOp{
+		Meta:    subzero.Meta{OpName: "slow-trace", NIn: 1, Modes: []subzero.Mode{subzero.Full}},
+		started: make(chan struct{}),
+	}
+	catalog := server.NewCatalog()
+	if err := catalog.Register(&server.Workflow{
+		Name: "gate",
+		Build: func(scale float64, seed int64) (*subzero.Spec, map[string]*subzero.Array, error) {
+			spec := subzero.NewSpec("gate")
+			spec.Add("pre", subzero.UnaryOp("pre", func(x float64) float64 { return x + 1 }),
+				subzero.FromExternal("src"))
+			spec.Add("slow", op, subzero.FromNode("pre"))
+			src, err := subzero.NewArray("src", subzero.Shape{8, 8})
+			if err != nil {
+				return nil, nil, err
+			}
+			return spec, map[string]*subzero.Array{"src": src}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, srv, c := newTestService(t, catalog)
+
+	ctx := context.Background()
+	info, err := c.Execute(ctx, subzero.WireExecuteRequest{Workflow: "gate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Backward query whose first step must re-execute the slow operator
+	// in tracing mode ("slow" stores nothing and has no mapping
+	// functions, so black-box re-execution is the only access path).
+	q := subzero.BackwardQuery([]uint64{5},
+		subzero.Step{Node: "slow"}, subzero.Step{Node: "pre"})
+
+	qctx, cancel := context.WithCancel(ctx)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Query(qctx, info.ID, q, nil)
+		done <- err
+	}()
+
+	// Wait until the re-execution is provably in flight, then kill the
+	// client. The transport closes the connection, the server's request
+	// context dies, and the streamed-pair ctx check aborts the trace.
+	select {
+	case <-op.started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("re-execution never started")
+	}
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("client query succeeded despite cancellation")
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for srv.MetricsSnapshot().Cancelled == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never recorded the cancelled re-execution")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServerRejectsOverCapacity pins the bounded in-flight cap: with a
+// cap of 1 held open by a slow request, the next heavy request is shed
+// with 503 and a structured error.
+func TestServerRejectsOverCapacity(t *testing.T) {
+	op := &slowTraceOp{
+		Meta:    subzero.Meta{OpName: "slow-trace", NIn: 1, Modes: []subzero.Mode{subzero.Full}},
+		started: make(chan struct{}),
+	}
+	catalog := server.NewCatalog()
+	if err := catalog.Register(&server.Workflow{
+		Name: "gate",
+		Build: func(scale float64, seed int64) (*subzero.Spec, map[string]*subzero.Array, error) {
+			spec := subzero.NewSpec("gate")
+			spec.Add("slow", op, subzero.FromExternal("src"))
+			src, err := subzero.NewArray("src", subzero.Shape{8, 8})
+			if err != nil {
+				return nil, nil, err
+			}
+			return spec, map[string]*subzero.Array{"src": src}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := subzero.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	srv, err := server.New(server.Config{System: sys, Catalog: catalog, MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := client.New(ts.URL)
+
+	ctx := context.Background()
+	info, err := c.Execute(ctx, subzero.WireExecuteRequest{Workflow: "gate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the single slot with a query that blocks in re-execution.
+	qctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	blocked := make(chan struct{})
+	go func() {
+		defer close(blocked)
+		c.Query(qctx, info.ID, subzero.BackwardQuery([]uint64{0}, subzero.Step{Node: "slow"}), nil)
+	}()
+	select {
+	case <-op.started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("occupying query never started")
+	}
+
+	_, err = c.Query(ctx, info.ID, subzero.BackwardQuery([]uint64{0}, subzero.Step{Node: "slow"}), nil)
+	var apiErr *client.APIError
+	if !asAPIError(err, &apiErr) || apiErr.Status != 503 {
+		t.Fatalf("over-capacity query error = %v, want 503", err)
+	}
+	if !strings.Contains(apiErr.Message, "capacity") {
+		t.Fatalf("unstructured capacity error: %q", apiErr.Message)
+	}
+	if srv.MetricsSnapshot().Rejected == 0 {
+		t.Fatal("rejection not counted")
+	}
+	cancel()
+	<-blocked
+}
+
+func asAPIError(err error, target **client.APIError) bool {
+	if e, ok := err.(*client.APIError); ok {
+		*target = e
+		return true
+	}
+	return false
+}
+
+// TestServerDrainRejectsNewWork pins the graceful-shutdown contract:
+// after Drain, health reports draining with 503 and heavy endpoints shed
+// requests.
+func TestServerDrainRejectsNewWork(t *testing.T) {
+	ctx := context.Background()
+	_, srv, c := newTestService(t, nil)
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("health = %+v", h)
+	}
+
+	srv.Drain()
+	if _, err := c.Health(ctx); err == nil {
+		t.Fatal("draining health reported ok")
+	}
+	_, err = c.Execute(ctx, subzero.WireExecuteRequest{Workflow: "genomics", Scale: 1})
+	var apiErr *client.APIError
+	if !asAPIError(err, &apiErr) || apiErr.Status != 503 {
+		t.Fatalf("execute during drain = %v, want 503", err)
+	}
+}
+
+// TestServerErrorMapping pins the structured-error contract for the
+// common failure classes.
+func TestServerErrorMapping(t *testing.T) {
+	ctx := context.Background()
+	_, _, c := newTestService(t, nil)
+
+	// Unknown workflow -> 404.
+	_, err := c.Execute(ctx, subzero.WireExecuteRequest{Workflow: "nope"})
+	var apiErr *client.APIError
+	if !asAPIError(err, &apiErr) || apiErr.Status != 404 {
+		t.Fatalf("unknown workflow: %v", err)
+	}
+	// Missing workflow name -> 400.
+	_, err = c.Execute(ctx, subzero.WireExecuteRequest{})
+	if !asAPIError(err, &apiErr) || apiErr.Status != 400 {
+		t.Fatalf("empty request: %v", err)
+	}
+	// Absurd scale -> 400 (serving-side resource cap).
+	_, err = c.Execute(ctx, subzero.WireExecuteRequest{Workflow: "genomics", Scale: 1e9})
+	if !asAPIError(err, &apiErr) || apiErr.Status != 400 {
+		t.Fatalf("oversized scale: %v", err)
+	}
+	// Fractional genomics scale -> 400 rather than silent truncation.
+	_, err = c.Execute(ctx, subzero.WireExecuteRequest{Workflow: "genomics", Scale: 1.5})
+	if !asAPIError(err, &apiErr) || apiErr.Status != 400 {
+		t.Fatalf("fractional scale: %v", err)
+	}
+	// Bad plan name -> 400.
+	_, err = c.Execute(ctx, subzero.WireExecuteRequest{Workflow: "genomics", Plan: "NoSuchPlan"})
+	if !asAPIError(err, &apiErr) || apiErr.Status != 400 {
+		t.Fatalf("bad plan: %v", err)
+	}
+	// Unknown run -> 404 on every run-scoped endpoint.
+	if _, err = c.Run(ctx, "ghost"); !client.IsNotFound(err) {
+		t.Fatalf("unknown run get: %v", err)
+	}
+	if _, err = c.Query(ctx, "ghost", subzero.BackwardQuery([]uint64{0}, subzero.Step{Node: "x"}), nil); !client.IsNotFound(err) {
+		t.Fatalf("unknown run query: %v", err)
+	}
+
+	// Malformed queries -> 400 with the validator's message.
+	info, err := c.Execute(ctx, subzero.WireExecuteRequest{Workflow: "genomics", Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Query(ctx, info.ID, subzero.BackwardQuery([]uint64{0}, subzero.Step{Node: "ghost-node"}), nil)
+	if !asAPIError(err, &apiErr) || apiErr.Status != 400 || !strings.Contains(apiErr.Message, "ghost-node") {
+		t.Fatalf("invalid query path: %v", err)
+	}
+	// Empty batch -> 400.
+	_, err = c.QueryBatch(ctx, info.ID, nil, nil)
+	if !asAPIError(err, &apiErr) || apiErr.Status != 400 {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+// TestServerExplicitPlan executes with a wire-form explicit plan and
+// verifies the run reports it back.
+func TestServerExplicitPlan(t *testing.T) {
+	ctx := context.Background()
+	sys, _, c := newTestService(t, nil)
+
+	explicit := subzero.WirePlan{}
+	for _, id := range []string{"tr-t", "tr-mean", "tr-center", "tr-std", "tr-norm",
+		"te-t", "te-mean", "te-center", "te-std", "te-norm"} {
+		explicit[id] = []string{"Map"}
+	}
+	explicit["F-model"] = []string{"FullOne", "FullOneFwd"}
+	info, err := c.Execute(ctx, subzero.WireExecuteRequest{
+		Workflow: "genomics", Scale: 1, ExplicitPlan: explicit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Plan["F-model"]; len(got) != 2 || got[0] != "FullOne" || got[1] != "FullOneFwd" {
+		t.Fatalf("explicit plan not applied: %v", info.Plan)
+	}
+	run, err := sys.Run(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stores := run.Stores("F-model"); len(stores) != 2 {
+		t.Fatalf("F-model materialized %d stores, want 2", len(stores))
+	}
+}

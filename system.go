@@ -183,6 +183,18 @@ func (s *System) resolveRun(ref RunRef) (*workflow.Run, error) {
 	return nil, fmt.Errorf("subzero: run reference must be a *Run or a run ID string, got %T", ref)
 }
 
+// ValidateQuery checks a query against a run without executing it: the
+// path must follow actual workflow edges and the cells must fit the
+// starting array. Serving layers use it to distinguish malformed requests
+// from execution failures.
+func (s *System) ValidateQuery(run RunRef, q Query) error {
+	r, err := s.resolveRun(run)
+	if err != nil {
+		return err
+	}
+	return query.New(r, nil, s.qopts).Validate(q)
+}
+
 // Query executes a lineage query against a run (a *Run or run ID) using
 // the system's default query options.
 func (s *System) Query(ctx context.Context, run RunRef, q Query) (*QueryResult, error) {

@@ -1,0 +1,477 @@
+// Wire-format DTOs: the JSON types exchanged by the lineage-as-a-service
+// HTTP layer (internal/server) and its typed Go client (client). They live
+// in the root package because they are part of SubZero's public surface:
+// the stable, versioned representation of queries, results, plans, and
+// constraints that survives across the network boundary.
+//
+// Durations travel as integer nanoseconds (the _ns suffix) and strategies
+// as their paper names (see StrategyName / ParseStrategy), so payloads are
+// self-describing and stable across client and server versions.
+
+package subzero
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ---------------------------------------------------------------------
+// Strategies and plans
+// ---------------------------------------------------------------------
+
+// strategyNames maps wire names to strategies in a fixed order so
+// StrategyNames() is deterministic.
+var strategyNames = []struct {
+	name string
+	s    Strategy
+}{
+	{"Blackbox", StratBlackbox},
+	{"Map", StratMap},
+	{"FullOne", StratFullOne},
+	{"FullMany", StratFullMany},
+	{"PayOne", StratPayOne},
+	{"PayMany", StratPayMany},
+	{"CompOne", StratCompOne},
+	{"CompMany", StratCompMany},
+	{"FullOneFwd", StratFullOneFwd},
+	{"FullManyFwd", StratFullManyFwd},
+}
+
+// StrategyName returns the stable wire name of a strategy ("FullOne",
+// "PayMany", "FullOneFwd", ...). Unknown strategies fall back to the
+// diagnostic String() form.
+func StrategyName(s Strategy) string {
+	for _, e := range strategyNames {
+		if e.s == s {
+			return e.name
+		}
+	}
+	return s.String()
+}
+
+// ParseStrategy resolves a wire name (case-insensitive) to a strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	for _, e := range strategyNames {
+		if strings.EqualFold(e.name, name) {
+			return e.s, nil
+		}
+	}
+	return Strategy{}, fmt.Errorf("subzero: unknown strategy %q", name)
+}
+
+// StrategyNames lists every wire strategy name in declaration order.
+func StrategyNames() []string {
+	out := make([]string, len(strategyNames))
+	for i, e := range strategyNames {
+		out[i] = e.name
+	}
+	return out
+}
+
+// WirePlan is the wire form of a Plan: node id -> strategy names.
+type WirePlan map[string][]string
+
+// NewWirePlan converts a Plan to its wire form.
+func NewWirePlan(p Plan) WirePlan {
+	if p == nil {
+		return nil
+	}
+	out := make(WirePlan, len(p))
+	for node, strategies := range p {
+		names := make([]string, len(strategies))
+		for i, s := range strategies {
+			names[i] = StrategyName(s)
+		}
+		out[node] = names
+	}
+	return out
+}
+
+// Plan converts the wire form back to a Plan, validating every name.
+func (w WirePlan) Plan() (Plan, error) {
+	if w == nil {
+		return nil, nil
+	}
+	out := make(Plan, len(w))
+	for node, names := range w {
+		strategies := make([]Strategy, len(names))
+		for i, name := range names {
+			s, err := ParseStrategy(name)
+			if err != nil {
+				return nil, fmt.Errorf("node %q: %w", node, err)
+			}
+			strategies[i] = s
+		}
+		out[node] = strategies
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------
+
+// Wire direction names.
+const (
+	WireBackward = "backward"
+	WireForward  = "forward"
+)
+
+// WireStep is one path element of a wire query.
+type WireStep struct {
+	Node  string `json:"node"`
+	Input int    `json:"input,omitempty"`
+}
+
+// WireQuery is the wire form of a lineage Query.
+type WireQuery struct {
+	Direction string     `json:"direction"`
+	Cells     []uint64   `json:"cells"`
+	Path      []WireStep `json:"path"`
+}
+
+// NewWireQuery converts a Query to its wire form.
+func NewWireQuery(q Query) WireQuery {
+	dir := WireBackward
+	if q.Direction == Forward {
+		dir = WireForward
+	}
+	steps := make([]WireStep, len(q.Path))
+	for i, st := range q.Path {
+		steps[i] = WireStep{Node: st.Node, Input: st.InputIdx}
+	}
+	return WireQuery{Direction: dir, Cells: q.Cells, Path: steps}
+}
+
+// Query converts the wire form back to a Query, validating the direction.
+func (w WireQuery) Query() (Query, error) {
+	var dir Direction
+	switch strings.ToLower(w.Direction) {
+	case WireBackward, "":
+		dir = Backward
+	case WireForward:
+		dir = Forward
+	default:
+		return Query{}, fmt.Errorf("subzero: unknown query direction %q", w.Direction)
+	}
+	steps := make([]Step, len(w.Path))
+	for i, st := range w.Path {
+		steps[i] = Step{Node: st.Node, InputIdx: st.Input}
+	}
+	return Query{Direction: dir, Cells: w.Cells, Path: steps}, nil
+}
+
+// WireQueryOptions is the wire form of QueryOptions. Nil pointers (or a
+// nil *WireQueryOptions) mean "use the default", which enables every
+// optimization.
+type WireQueryOptions struct {
+	EntireArray *bool `json:"entire_array,omitempty"`
+	Dynamic     *bool `json:"dynamic,omitempty"`
+}
+
+// Options resolves the wire form against the defaults.
+func (w *WireQueryOptions) Options() QueryOptions {
+	opts := DefaultQueryOptions()
+	if w == nil {
+		return opts
+	}
+	if w.EntireArray != nil {
+		opts.EntireArray = *w.EntireArray
+	}
+	if w.Dynamic != nil {
+		opts.Dynamic = *w.Dynamic
+	}
+	return opts
+}
+
+// WireStepReport is the wire form of one per-step query diagnostic.
+type WireStepReport struct {
+	Node       string `json:"node"`
+	Input      int    `json:"input"`
+	AccessPath string `json:"access_path"`
+	InCells    uint64 `json:"in_cells"`
+	OutCells   uint64 `json:"out_cells"`
+	ElapsedNS  int64  `json:"elapsed_ns"`
+	FellBack   bool   `json:"fell_back,omitempty"`
+}
+
+// WireQueryResult is the wire form of a QueryResult. Cells is always
+// non-nil so empty results serialize as [] rather than null.
+type WireQueryResult struct {
+	Cells     []uint64         `json:"cells"`
+	Steps     []WireStepReport `json:"steps,omitempty"`
+	ElapsedNS int64            `json:"elapsed_ns"`
+}
+
+// NewWireQueryResult converts a QueryResult to its wire form.
+func NewWireQueryResult(r *QueryResult) *WireQueryResult {
+	if r == nil {
+		return nil
+	}
+	cells := r.Cells()
+	if cells == nil {
+		cells = []uint64{}
+	}
+	steps := make([]WireStepReport, len(r.Steps))
+	for i, st := range r.Steps {
+		steps[i] = WireStepReport{
+			Node:       st.Node,
+			Input:      st.InputIdx,
+			AccessPath: st.AccessPath,
+			InCells:    st.InCells,
+			OutCells:   st.OutCells,
+			ElapsedNS:  st.Elapsed.Nanoseconds(),
+			FellBack:   st.FellBack,
+		}
+	}
+	return &WireQueryResult{Cells: cells, Steps: steps, ElapsedNS: r.Elapsed.Nanoseconds()}
+}
+
+// WireBatchReport is the wire form of a BatchReport.
+type WireBatchReport struct {
+	Queries     int    `json:"queries"`
+	Succeeded   int    `json:"succeeded"`
+	Failed      int    `json:"failed"`
+	Cells       uint64 `json:"cells"`
+	QueryTimeNS int64  `json:"query_time_ns"`
+	ElapsedNS   int64  `json:"elapsed_ns"`
+}
+
+// NewWireBatchReport converts a BatchReport to its wire form.
+func NewWireBatchReport(r BatchReport) WireBatchReport {
+	return WireBatchReport{
+		Queries:     r.Queries,
+		Succeeded:   r.Succeeded,
+		Failed:      r.Failed,
+		Cells:       r.Cells,
+		QueryTimeNS: r.QueryTime.Nanoseconds(),
+		ElapsedNS:   r.Elapsed.Nanoseconds(),
+	}
+}
+
+// ---------------------------------------------------------------------
+// Constraints and optimizer reports
+// ---------------------------------------------------------------------
+
+// WireConstraints is the wire form of optimizer Constraints.
+type WireConstraints struct {
+	MaxDiskBytes int64   `json:"max_disk_bytes,omitempty"`
+	MaxRuntimeNS int64   `json:"max_runtime_ns,omitempty"`
+	Beta         float64 `json:"beta,omitempty"`
+}
+
+// NewWireConstraints converts Constraints to their wire form.
+func NewWireConstraints(c Constraints) WireConstraints {
+	return WireConstraints{
+		MaxDiskBytes: c.MaxDiskBytes,
+		MaxRuntimeNS: c.MaxRuntime.Nanoseconds(),
+		Beta:         c.Beta,
+	}
+}
+
+// Constraints converts the wire form back to Constraints.
+func (w WireConstraints) Constraints() Constraints {
+	return Constraints{
+		MaxDiskBytes: w.MaxDiskBytes,
+		MaxRuntime:   time.Duration(w.MaxRuntimeNS),
+		Beta:         w.Beta,
+	}
+}
+
+// WireStrategyChoice is one candidate row of a wire optimizer report.
+type WireStrategyChoice struct {
+	Strategy  string `json:"strategy"`
+	DiskBytes int64  `json:"disk_bytes"`
+	RuntimeNS int64  `json:"runtime_ns"`
+	Chosen    bool   `json:"chosen,omitempty"`
+}
+
+// WireOptimizeReport is the wire form of an OptimizeReport.
+type WireOptimizeReport struct {
+	Plan        WirePlan                        `json:"plan"`
+	PerNode     map[string][]WireStrategyChoice `json:"per_node,omitempty"`
+	Objective   float64                         `json:"objective"`
+	DiskBytes   int64                           `json:"disk_bytes"`
+	RuntimeNS   int64                           `json:"runtime_ns"`
+	SolveTimeNS int64                           `json:"solve_time_ns"`
+	Status      string                          `json:"status"`
+}
+
+// NewWireOptimizeReport converts an OptimizeReport to its wire form.
+func NewWireOptimizeReport(rep *OptimizeReport) *WireOptimizeReport {
+	if rep == nil {
+		return nil
+	}
+	perNode := make(map[string][]WireStrategyChoice, len(rep.PerNode))
+	for node, choices := range rep.PerNode {
+		rows := make([]WireStrategyChoice, len(choices))
+		for i, c := range choices {
+			rows[i] = WireStrategyChoice{
+				Strategy:  StrategyName(c.Strategy),
+				DiskBytes: c.DiskBytes,
+				RuntimeNS: c.Runtime.Nanoseconds(),
+				Chosen:    c.Chosen,
+			}
+		}
+		perNode[node] = rows
+	}
+	return &WireOptimizeReport{
+		Plan:        NewWirePlan(rep.Plan),
+		PerNode:     perNode,
+		Objective:   rep.Objective,
+		DiskBytes:   rep.DiskBytes,
+		RuntimeNS:   rep.Runtime.Nanoseconds(),
+		SolveTimeNS: rep.SolveTime.Nanoseconds(),
+		Status:      rep.Status.String(),
+	}
+}
+
+// ---------------------------------------------------------------------
+// Runs, stats, and service envelopes
+// ---------------------------------------------------------------------
+
+// WireRunInfo describes one registered run.
+type WireRunInfo struct {
+	ID           string   `json:"id"`
+	Workflow     string   `json:"workflow"`
+	Nodes        int      `json:"nodes"`
+	ElapsedNS    int64    `json:"elapsed_ns"`
+	LineageBytes int64    `json:"lineage_bytes"`
+	Plan         WirePlan `json:"plan,omitempty"`
+}
+
+// NewWireRunInfo summarizes a run for the wire.
+func NewWireRunInfo(run *Run) *WireRunInfo {
+	if run == nil {
+		return nil
+	}
+	return &WireRunInfo{
+		ID:           run.ID,
+		Workflow:     run.Spec.Name,
+		Nodes:        len(run.Spec.Nodes()),
+		ElapsedNS:    run.Elapsed.Nanoseconds(),
+		LineageBytes: run.LineageBytes(),
+		Plan:         NewWirePlan(run.Plan),
+	}
+}
+
+// WireExecuteRequest asks the server to execute a catalog workflow.
+// Workflow names a server-side catalog entry; Plan names one of its
+// configurations; ExplicitPlan (node -> strategy names) overrides Plan
+// when present. Scale and Seed parameterize the workflow's source
+// generator (zero means the workflow default).
+type WireExecuteRequest struct {
+	Workflow     string   `json:"workflow"`
+	Plan         string   `json:"plan,omitempty"`
+	ExplicitPlan WirePlan `json:"explicit_plan,omitempty"`
+	Scale        float64  `json:"scale,omitempty"`
+	Seed         int64    `json:"seed,omitempty"`
+}
+
+// WireQueryRequest is the body of POST /v1/runs/{id}/query.
+type WireQueryRequest struct {
+	Query   WireQuery         `json:"query"`
+	Options *WireQueryOptions `json:"options,omitempty"`
+}
+
+// WireBatchRequest is the body of POST /v1/runs/{id}/query-batch.
+type WireBatchRequest struct {
+	Queries []WireQuery       `json:"queries"`
+	Options *WireQueryOptions `json:"options,omitempty"`
+}
+
+// WireBatchResponse is index-aligned with the submitted queries: exactly
+// one of Results[i], Errors[i] is non-zero.
+type WireBatchResponse struct {
+	Results []*WireQueryResult `json:"results"`
+	Errors  []string           `json:"errors"`
+	Report  WireBatchReport    `json:"report"`
+}
+
+// WireOptimizeRequest is the body of POST /v1/runs/{id}/optimize. Forced
+// pins strategies per node (node -> strategy names).
+type WireOptimizeRequest struct {
+	Workload    []WireQuery         `json:"workload"`
+	Constraints WireConstraints     `json:"constraints"`
+	Forced      map[string][]string `json:"forced,omitempty"`
+}
+
+// WireWorkflowInfo describes one catalog workflow.
+type WireWorkflowInfo struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description,omitempty"`
+	Plans       []string `json:"plans,omitempty"`
+	DefaultPlan string   `json:"default_plan,omitempty"`
+}
+
+// WireOpStats is the wire form of one operator's statistics.
+type WireOpStats struct {
+	Node         string `json:"node"`
+	Runs         int    `json:"runs"`
+	ExecNS       int64  `json:"exec_ns"`
+	LineageNS    int64  `json:"lineage_ns"`
+	Pairs        int64  `json:"pairs"`
+	OutCells     int64  `json:"out_cells"`
+	InCells      int64  `json:"in_cells"`
+	PayloadBytes int64  `json:"payload_bytes"`
+	QuerySteps   int    `json:"query_steps"`
+	QueryNS      int64  `json:"query_ns"`
+	Reexecs      int    `json:"reexecs"`
+}
+
+// NewWireOpStats converts OpStats to their wire form.
+func NewWireOpStats(s OpStats) WireOpStats {
+	return WireOpStats{
+		Node:         s.NodeID,
+		Runs:         s.Runs,
+		ExecNS:       s.ExecTime.Nanoseconds(),
+		LineageNS:    s.LineageTime.Nanoseconds(),
+		Pairs:        s.Pairs,
+		OutCells:     s.OutCells,
+		InCells:      s.InCells,
+		PayloadBytes: s.PayloadBytes,
+		QuerySteps:   s.QuerySteps,
+		QueryNS:      s.QueryTime.Nanoseconds(),
+		Reexecs:      s.Reexecs,
+	}
+}
+
+// WireServerMetrics is the serving layer's own health counters.
+type WireServerMetrics struct {
+	Requests     int64 `json:"requests"`
+	InFlight     int64 `json:"in_flight"`
+	Rejected     int64 `json:"rejected"`
+	Cancelled    int64 `json:"cancelled"`
+	ClientErrors int64 `json:"client_errors"`
+	ServerErrors int64 `json:"server_errors"`
+}
+
+// WireStats is the body of GET /v1/stats.
+type WireStats struct {
+	Runs         int               `json:"runs"`
+	LineageBytes int64             `json:"lineage_bytes"`
+	ArrayBytes   int64             `json:"array_bytes"`
+	Ops          []WireOpStats     `json:"ops,omitempty"`
+	Server       WireServerMetrics `json:"server"`
+}
+
+// WireHealth is the body of GET /v1/healthz.
+type WireHealth struct {
+	Status   string `json:"status"` // "ok" or "draining"
+	UptimeNS int64  `json:"uptime_ns"`
+	Runs     int    `json:"runs"`
+	InFlight int64  `json:"in_flight"`
+}
+
+// WireError is the structured error envelope every non-2xx response
+// carries.
+type WireError struct {
+	Error WireErrorBody `json:"error"`
+}
+
+// WireErrorBody is the error payload: the HTTP status and a message.
+type WireErrorBody struct {
+	Status  int    `json:"status"`
+	Message string `json:"message"`
+}
