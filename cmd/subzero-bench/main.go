@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"subzero/internal/astro"
@@ -63,11 +65,38 @@ func run(args []string) error {
 	fs.IntVar(&opts.microSize, "micro-size", 1000, "microbenchmark array side (1000 = paper)")
 	fs.StringVar(&opts.dir, "dir", "", "lineage storage directory (default: in-memory stores)")
 	jsonPath := fs.String("json", "", "also write the figure tables as machine-readable JSON to this path (e.g. BENCH.json)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *jsonPath != "" {
 		jsonReport = &benchfmt.JSONReport{}
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "subzero-bench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "subzero-bench: memprofile: %v\n", err)
+			}
+		}()
 	}
 	if *quick {
 		opts.astroScale = 0.2

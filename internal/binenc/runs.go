@@ -1,0 +1,138 @@
+package binenc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Span (run-length) cell-set codec. A sorted, deduplicated cell set is
+// stored as its maximal runs of consecutive indices: a run count followed
+// by one (gap, length) varint pair per run, where gap is the distance
+// from the end of the previous run (the first run's gap is its absolute
+// start index). Clustered region lineage — the common case for array
+// operators — collapses to a handful of pairs, and the streaming
+// decoders below let lookups consume spans without materializing
+// []uint64 cell slices.
+
+// AppendCellSetRuns appends a sorted, deduplicated cell set in span form.
+func AppendCellSetRuns(dst []byte, cells []uint64) []byte {
+	nRuns := CountRuns(cells)
+	dst = binary.AppendUvarint(dst, uint64(nRuns))
+	prevEnd := uint64(0)
+	for i := 0; i < len(cells); {
+		j := i + 1
+		for j < len(cells) && cells[j] == cells[j-1]+1 {
+			j++
+		}
+		start, length := cells[i], uint64(j-i)
+		dst = binary.AppendUvarint(dst, start-prevEnd)
+		dst = binary.AppendUvarint(dst, length)
+		prevEnd = start + length
+		i = j
+	}
+	return dst
+}
+
+// CountRuns returns the number of maximal consecutive runs in a sorted,
+// deduplicated cell set.
+func CountRuns(cells []uint64) int {
+	n := 0
+	for i := 0; i < len(cells); {
+		j := i + 1
+		for j < len(cells) && cells[j] == cells[j-1]+1 {
+			j++
+		}
+		n++
+		i = j
+	}
+	return n
+}
+
+// CellSetRunsLen returns the encoded size of AppendCellSetRuns without
+// materializing the encoding.
+func CellSetRunsLen(cells []uint64) int {
+	n := uvarintLen(uint64(CountRuns(cells)))
+	prevEnd := uint64(0)
+	for i := 0; i < len(cells); {
+		j := i + 1
+		for j < len(cells) && cells[j] == cells[j-1]+1 {
+			j++
+		}
+		start, length := cells[i], uint64(j-i)
+		n += uvarintLen(start-prevEnd) + uvarintLen(length)
+		prevEnd = start + length
+		i = j
+	}
+	return n
+}
+
+// DecodeRunsInto streams the runs of a span-encoded cell set into visit
+// in ascending order and returns the number of bytes consumed. If visit
+// returns false the remaining runs are skipped (but still parsed, so the
+// consumed count stays correct).
+func DecodeRunsInto(src []byte, visit func(start, length uint64) bool) (int, error) {
+	n, read := binary.Uvarint(src)
+	if read <= 0 {
+		return 0, fmt.Errorf("binenc: truncated run count")
+	}
+	off := read
+	if n > uint64(len(src)) { // each run takes >=2 bytes; cheap sanity bound
+		return 0, fmt.Errorf("binenc: run count %d exceeds buffer", n)
+	}
+	pos := uint64(0)
+	emitting := true
+	for i := uint64(0); i < n; i++ {
+		gap, read := binary.Uvarint(src[off:])
+		if read <= 0 {
+			return 0, fmt.Errorf("binenc: truncated run gap %d/%d", i, n)
+		}
+		off += read
+		length, read := binary.Uvarint(src[off:])
+		if read <= 0 {
+			return 0, fmt.Errorf("binenc: truncated run length %d/%d", i, n)
+		}
+		off += read
+		if length == 0 {
+			return 0, fmt.Errorf("binenc: zero-length run %d/%d", i, n)
+		}
+		start := pos + gap
+		pos = start + length
+		if emitting {
+			emitting = visit(start, length)
+		}
+	}
+	return off, nil
+}
+
+// DecodeCellSetInto streams the cells of a delta+varint cell set (the
+// AppendCellSet encoding) into visit in ascending order and returns the
+// number of bytes consumed. If visit returns false the remaining cells
+// are skipped (but still parsed, so the consumed count stays correct).
+func DecodeCellSetInto(src []byte, visit func(cell uint64) bool) (int, error) {
+	n, read := binary.Uvarint(src)
+	if read <= 0 {
+		return 0, fmt.Errorf("binenc: truncated cell-set count")
+	}
+	off := read
+	if n > uint64(len(src)) {
+		return 0, fmt.Errorf("binenc: cell-set count %d exceeds buffer", n)
+	}
+	prev := uint64(0)
+	emitting := true
+	for i := uint64(0); i < n; i++ {
+		d, read := binary.Uvarint(src[off:])
+		if read <= 0 {
+			return 0, fmt.Errorf("binenc: truncated cell-set entry %d/%d", i, n)
+		}
+		off += read
+		if i == 0 {
+			prev = d
+		} else {
+			prev += d
+		}
+		if emitting {
+			emitting = visit(prev)
+		}
+	}
+	return off, nil
+}

@@ -1,0 +1,202 @@
+package binenc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func decodeRunsToCells(t *testing.T, src []byte) ([]uint64, int) {
+	t.Helper()
+	var cells []uint64
+	n, err := DecodeRunsInto(src, func(start, length uint64) bool {
+		for c := start; c < start+length; c++ {
+			cells = append(cells, c)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cells, n
+}
+
+func TestCellSetRunsRoundTrip(t *testing.T) {
+	cases := [][]uint64{
+		{},
+		{0},
+		{5},
+		{1, 2, 3, 4, 5},
+		{0, 1, 2, 10, 11, 40},
+		{7, 9, 11},
+		{1 << 40, 1<<40 + 1, 1 << 50},
+	}
+	for _, cells := range cases {
+		enc := AppendCellSetRuns(nil, cells)
+		got, n := decodeRunsToCells(t, enc)
+		if n != len(enc) {
+			t.Fatalf("%v: consumed %d of %d bytes", cells, n, len(enc))
+		}
+		if !equalCells(got, cells) {
+			t.Fatalf("round trip %v -> %v", cells, got)
+		}
+		if want := CellSetRunsLen(cells); want != len(enc) {
+			t.Fatalf("%v: CellSetRunsLen=%d, encoded %d", cells, want, len(enc))
+		}
+	}
+}
+
+func TestRunsCompressClusteredSets(t *testing.T) {
+	// A dense range of 10k cells must collapse to a few bytes, far
+	// smaller than the per-cell delta encoding.
+	cells := make([]uint64, 10000)
+	for i := range cells {
+		cells[i] = uint64(1000 + i)
+	}
+	runEnc := AppendCellSetRuns(nil, cells)
+	cellEnc := AppendCellSet(nil, cells)
+	if len(runEnc) >= len(cellEnc)/100 {
+		t.Fatalf("run encoding %dB vs per-cell %dB: expected >100x", len(runEnc), len(cellEnc))
+	}
+}
+
+func TestDecodeRunsIntoEarlyStop(t *testing.T) {
+	enc := AppendCellSetRuns(nil, []uint64{1, 2, 10, 11, 20})
+	var calls int
+	n, err := DecodeRunsInto(enc, func(_, _ uint64) bool {
+		calls++
+		return false
+	})
+	if err != nil || calls != 1 {
+		t.Fatalf("early stop: calls=%d err=%v", calls, err)
+	}
+	if n != len(enc) {
+		t.Fatalf("early stop consumed %d of %d bytes", n, len(enc))
+	}
+}
+
+func TestDecodeRunsErrors(t *testing.T) {
+	if _, err := DecodeRunsInto(nil, nil); err == nil {
+		t.Fatal("nil input accepted")
+	}
+	enc := AppendCellSetRuns(nil, []uint64{3, 4, 9})
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := DecodeRunsInto(enc[:cut], func(_, _ uint64) bool { return true }); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Zero-length run is rejected.
+	if _, err := DecodeRunsInto([]byte{1, 0, 0}, func(_, _ uint64) bool { return true }); err == nil {
+		t.Fatal("zero-length run accepted")
+	}
+}
+
+func TestDecodeCellSetIntoMatchesDecodeCellSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		cells := make([]uint64, 0, 50)
+		c := uint64(rng.Intn(10))
+		for i := 0; i < rng.Intn(50); i++ {
+			cells = append(cells, c)
+			c += uint64(1 + rng.Intn(30))
+		}
+		enc := AppendCellSet(nil, cells)
+		want, wantN, err := DecodeCellSet(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []uint64
+		gotN, err := DecodeCellSetInto(enc, func(cell uint64) bool {
+			got = append(got, cell)
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotN != wantN || !equalCells(got, want) {
+			t.Fatalf("trial %d: streaming decode diverges", trial)
+		}
+	}
+}
+
+func TestQuickRunsRoundTrip(t *testing.T) {
+	f := func(raw []uint32) bool {
+		cells := widen(raw)
+		enc := AppendCellSetRuns(nil, cells)
+		var got []uint64
+		n, err := DecodeRunsInto(enc, func(start, length uint64) bool {
+			for c := start; c < start+length; c++ {
+				got = append(got, c)
+			}
+			return true
+		})
+		return err == nil && n == len(enc) && equalCells(got, cells)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sequential frames: two run sets appended back to back must decode with
+// correct byte accounting (the record codec relies on this).
+func TestRunsSequentialFrames(t *testing.T) {
+	a := []uint64{1, 2, 3}
+	b := []uint64{100, 200}
+	enc := AppendCellSetRuns(AppendCellSetRuns(nil, a), b)
+	gotA, n := decodeRunsToCells(t, enc)
+	if !equalCells(gotA, a) {
+		t.Fatalf("first frame %v", gotA)
+	}
+	gotB, m := decodeRunsToCells(t, enc[n:])
+	if !equalCells(gotB, b) || n+m != len(enc) {
+		t.Fatalf("second frame %v (consumed %d+%d of %d)", gotB, n, m, len(enc))
+	}
+}
+
+// Streaming decode must not allocate — it feeds bitmap.SetRun directly in
+// the lookup hot path.
+func TestDecodeRunsIntoAllocFree(t *testing.T) {
+	cells := make([]uint64, 0, 4096)
+	for i := 0; i < 4096; i++ {
+		cells = append(cells, uint64(i*3)) // worst case: no merging
+	}
+	enc := AppendCellSetRuns(nil, cells)
+	var total uint64
+	if n := testing.AllocsPerRun(20, func() {
+		_, err := DecodeRunsInto(enc, func(_, length uint64) bool {
+			total += length
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); n > 0 {
+		t.Fatalf("DecodeRunsInto allocates %.1f/op", n)
+	}
+}
+
+func TestGoldenRunsEncoding(t *testing.T) {
+	// {3,4,5, 9, 20,21}: 3 runs -> count 3, (3,3) (gap 3,1) (gap 10,2).
+	got := AppendCellSetRuns(nil, []uint64{3, 4, 5, 9, 20, 21})
+	want := []byte{3, 3, 3, 3, 1, 10, 2}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("golden runs encoding %v, want %v", got, want)
+	}
+}
+
+func BenchmarkDecodeRunsInto1000(b *testing.B) {
+	cells := make([]uint64, 1000)
+	for i := range cells {
+		cells[i] = uint64(i * 2)
+	}
+	enc := AppendCellSetRuns(nil, cells)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var total uint64
+		if _, err := DecodeRunsInto(enc, func(_, n uint64) bool { total += n; return true }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

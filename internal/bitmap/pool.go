@@ -1,0 +1,62 @@
+package bitmap
+
+import (
+	"sync"
+
+	"subzero/internal/grid"
+)
+
+// poolLimit caps how many bitmaps a Pool retains; beyond it, Put drops
+// the bitmap for the GC.
+const poolLimit = 32
+
+// Pool recycles bitmap word storage across query steps. A query over a
+// multi-step path allocates one intermediate boolean array per step, all
+// discarded at the end; with a pool, steady-state query traffic reuses
+// the same few word slices instead of re-allocating megabytes per query.
+//
+// Get rebinds a recycled bitmap to the requested space (word storage is
+// reused whenever its capacity suffices), so one pool serves steps over
+// arrays of different shapes. A zero Pool is ready to use; it is safe
+// for concurrent use.
+type Pool struct {
+	mu   sync.Mutex
+	free []*Bitmap
+}
+
+// Get returns an empty bitmap over the given space, reusing pooled
+// storage when possible.
+func (p *Pool) Get(space *grid.Space) *Bitmap {
+	need := int((space.Size() + 63) / 64)
+	p.mu.Lock()
+	for i := len(p.free) - 1; i >= 0; i-- {
+		b := p.free[i]
+		if cap(b.words) < need {
+			continue
+		}
+		p.free[i] = p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		p.mu.Unlock()
+		b.space = space
+		b.words = b.words[:need]
+		clear(b.words)
+		b.count = 0
+		return b
+	}
+	p.mu.Unlock()
+	return New(space)
+}
+
+// Put returns a bitmap to the pool. The caller must not use b afterwards;
+// in particular, bitmaps handed to API consumers (query results) must
+// never be Put.
+func (p *Pool) Put(b *Bitmap) {
+	if b == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) < poolLimit {
+		p.free = append(p.free, b)
+	}
+}

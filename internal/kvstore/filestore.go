@@ -179,14 +179,55 @@ func (s *FileStore) Get(key []byte) ([]byte, bool, error) {
 	return val, true, nil
 }
 
+// GetBatch implements GetBatcher: one lock acquisition and one write-
+// buffer flush serve the whole batch, and value buffers are reused
+// between keys (the val passed to fn is only valid during the call).
+func (s *FileStore) GetBatch(keys [][]byte, fn func(i int, val []byte, ok bool) bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	var buf []byte
+	for i, k := range keys {
+		ref, ok := s.index[string(k)]
+		if !ok {
+			if !fn(i, nil, false) {
+				return nil
+			}
+			continue
+		}
+		var err error
+		if buf, err = s.readValueInto(ref, buf); err != nil {
+			return err
+		}
+		if !fn(i, buf, true) {
+			return nil
+		}
+	}
+	return nil
+}
+
 func (s *FileStore) readValue(ref recordRef) ([]byte, error) {
+	return s.readValueInto(ref, nil)
+}
+
+// readValueInto reads a record's value, reusing buf's storage when it is
+// large enough. It owns the record framing arithmetic for all read paths.
+func (s *FileStore) readValueInto(ref recordRef, buf []byte) ([]byte, error) {
 	framing := uvarintLen(uint64(ref.klen)) + uvarintLen(uint64(ref.vlen))
 	skip := int64(crcSize + framing + ref.klen)
-	val := make([]byte, ref.vlen)
-	if _, err := s.f.ReadAt(val, ref.off+skip); err != nil {
+	if cap(buf) < ref.vlen {
+		buf = make([]byte, ref.vlen)
+	}
+	buf = buf[:ref.vlen]
+	if _, err := s.f.ReadAt(buf, ref.off+skip); err != nil {
 		return nil, fmt.Errorf("kvstore: read record at %d: %w", ref.off, err)
 	}
-	return val, nil
+	return buf, nil
 }
 
 // Scan implements Store. Records are visited in log order (oldest live

@@ -47,6 +47,34 @@ type Store interface {
 	Close() error
 }
 
+// GetBatcher is an optional Store extension: resolve several point
+// lookups under a single lock acquisition and I/O pass. fn is called once
+// per key in order; the val slice follows the same aliasing rules as
+// Get's and is only valid for the duration of the call. Returning false
+// stops the batch early.
+type GetBatcher interface {
+	GetBatch(keys [][]byte, fn func(i int, val []byte, ok bool) bool) error
+}
+
+// GetBatch resolves keys against s, using the store's native batch path
+// when it implements GetBatcher and falling back to per-key Gets. The
+// lineage lookup hot path probes hashtables through this.
+func GetBatch(s Store, keys [][]byte, fn func(i int, val []byte, ok bool) bool) error {
+	if gb, ok := s.(GetBatcher); ok {
+		return gb.GetBatch(keys, fn)
+	}
+	for i, k := range keys {
+		v, ok, err := s.Get(k)
+		if err != nil {
+			return err
+		}
+		if !fn(i, v, ok) {
+			return nil
+		}
+	}
+	return nil
+}
+
 // MemStore is an in-memory Store backed by a map.
 type MemStore struct {
 	mu    sync.RWMutex
@@ -90,6 +118,23 @@ func (m *MemStore) Get(key []byte) ([]byte, bool, error) {
 	}
 	v, ok := m.data[string(key)]
 	return v, ok, nil
+}
+
+// GetBatch implements GetBatcher: all keys are resolved under one read
+// lock.
+func (m *MemStore) GetBatch(keys [][]byte, fn func(i int, val []byte, ok bool) bool) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.data == nil {
+		return ErrClosed
+	}
+	for i, k := range keys {
+		v, ok := m.data[string(k)]
+		if !fn(i, v, ok) {
+			return nil
+		}
+	}
+	return nil
 }
 
 // Scan implements Store. Keys are visited in sorted order for determinism.

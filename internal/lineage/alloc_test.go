@@ -1,0 +1,50 @@
+package lineage
+
+import (
+	"math/rand"
+	"testing"
+
+	"subzero/internal/bitmap"
+	"subzero/internal/kvstore"
+)
+
+// A warmed FullOne backward lookup must stay within a small constant
+// allocation budget per query, independent of the number of query cells:
+// probes run through pooled scratch and batch keys, and records replay
+// from the run cache straight into the destination bitmap. The bound is
+// deliberately loose (map growth, pool misses) but far below the
+// one-allocation-per-cell regime this guards against.
+func TestBackwardLookupAllocBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pairs := randomPairs(rng, 400)
+	kv := kvstore.NewMem()
+	st, err := OpenStore(kv, StratFullOne, tOutSpace, tInSpaces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WritePairs(toStorePairs(StratFullOne, pairs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	q := randomQuery(rng, tOutSpace, 600)
+	dst := bitmap.New(tInSpaces[0])
+	// Warm: record cache, lookup scratch pool, batch arenas.
+	for i := 0; i < 3; i++ {
+		dst.Clear()
+		if err := st.Backward(q, dst, 0, nil, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		dst.Clear()
+		if err := st.Backward(q, dst, 0, nil, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 25 {
+		t.Fatalf("warmed Backward allocates %.1f/op, want <= 25 (per-cell allocations crept back?)", allocs)
+	}
+}

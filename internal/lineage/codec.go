@@ -3,8 +3,10 @@ package lineage
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"subzero/internal/binenc"
+	"subzero/internal/bitmap"
 )
 
 // Physical key layout inside a store's hashtable:
@@ -37,75 +39,186 @@ func cellKey(slot int, cell uint64) []byte {
 
 func metaKey(name string) []byte { return append([]byte{keyMeta}, name...) }
 
-// record is a decoded region-pair record.
+// runSet is a decoded cell set held as maximal runs — flat (start,
+// length) pairs sorted by start — plus the total cell count. The lookup
+// hot path applies whole runs to destination bitmaps (Bitmap.SetRun) and
+// probes them word-parallel (Bitmap.AnyInRange) without ever
+// materializing a per-cell []uint64.
+type runSet struct {
+	runs  []uint64 // flat (start, length) pairs
+	count uint64
+}
+
+// appendRun appends a run, merging it into the previous run when
+// contiguous (legacy per-cell decoding produces adjacent cells).
+func (rs *runSet) appendRun(start, length uint64) {
+	if n := len(rs.runs); n > 0 && rs.runs[n-2]+rs.runs[n-1] == start {
+		rs.runs[n-1] += length
+	} else {
+		rs.runs = append(rs.runs, start, length)
+	}
+	rs.count += length
+}
+
+// addTo ORs the set's cells into dst word-parallel, returning the number
+// newly set.
+func (rs *runSet) addTo(dst *bitmap.Bitmap) uint64 {
+	var added uint64
+	for i := 0; i < len(rs.runs); i += 2 {
+		added += dst.SetRun(rs.runs[i], rs.runs[i+1])
+	}
+	return added
+}
+
+// intersects reports whether any cell of the set is set in q.
+func (rs *runSet) intersects(q *bitmap.Bitmap) bool {
+	for i := 0; i < len(rs.runs); i += 2 {
+		if q.AnyInRange(rs.runs[i], rs.runs[i+1]) {
+			return true
+		}
+	}
+	return false
+}
+
+// contains reports whether the set holds cell, by binary search over the
+// run starts.
+func (rs *runSet) contains(cell uint64) bool {
+	n := len(rs.runs) / 2
+	i := sort.Search(n, func(i int) bool { return rs.runs[2*i] > cell })
+	if i == 0 {
+		return false
+	}
+	start, length := rs.runs[2*(i-1)], rs.runs[2*(i-1)+1]
+	return cell-start < length
+}
+
+// forEach calls fn with every cell in ascending order until fn returns
+// false.
+func (rs *runSet) forEach(fn func(cell uint64) bool) {
+	for i := 0; i < len(rs.runs); i += 2 {
+		start, length := rs.runs[i], rs.runs[i+1]
+		for c := start; c < start+length; c++ {
+			if !fn(c) {
+				return
+			}
+		}
+	}
+}
+
+// cells materializes the set as a sorted index slice (tests and
+// diagnostics only — lookups stay on runs).
+func (rs *runSet) cells(dst []uint64) []uint64 {
+	rs.forEach(func(c uint64) bool {
+		dst = append(dst, c)
+		return true
+	})
+	return dst
+}
+
+// record is a decoded region-pair record. Cell sets are cached as runs,
+// not slices, so a record held in recCache costs O(runs) and replays into
+// a destination bitmap word-parallel.
 type record struct {
-	outs    []uint64
-	ins     [][]uint64 // nil for payload records
+	outs    runSet
+	ins     []runSet // nil for payload records
 	payload []byte
 }
 
+// The leading flags byte doubles as the record-format version:
+//
+//	0, 1 — v1 (pre-span): cell sets in per-cell delta+varint form
+//	2, 3 — v2 (span): cell sets in run-length (gap, length) form
+//
+// Writers emit v2; readers accept both, so stores written by earlier
+// builds stay readable.
 const (
-	recFull    = 0 // flags value: explicit input cell sets follow
-	recPayload = 1 // flags value: payload blob follows
+	recFull        = 0 // v1: explicit input cell sets follow
+	recPayload     = 1 // v1: payload blob follows
+	recFullRuns    = 2 // v2: run-length input cell sets follow
+	recPayloadRuns = 3 // v2: run-length outs + payload blob
 )
 
-// encodeRecord serializes a region pair as a pair-record value.
+// encodeRecord serializes a region pair as a (v2, run-length) pair-record
+// value.
 func encodeRecord(rp *RegionPair) []byte {
 	var buf []byte
 	if rp.IsPayload() {
-		buf = append(buf, recPayload)
-		buf = binenc.AppendCellSet(buf, rp.Out)
+		buf = append(buf, recPayloadRuns)
+		buf = binenc.AppendCellSetRuns(buf, rp.Out)
 		buf = binenc.AppendBytes(buf, rp.Payload)
 		return buf
 	}
-	buf = append(buf, recFull)
-	buf = binenc.AppendCellSet(buf, rp.Out)
+	buf = append(buf, recFullRuns)
+	buf = binenc.AppendCellSetRuns(buf, rp.Out)
 	buf = binary.AppendUvarint(buf, uint64(len(rp.Ins)))
 	for _, in := range rp.Ins {
-		buf = binenc.AppendCellSet(buf, in)
+		buf = binenc.AppendCellSetRuns(buf, in)
 	}
 	return buf
 }
 
-// decodeRecord parses a pair-record value.
+// decodeCellSetAny decodes one cell set — run-length (v2) or per-cell
+// delta+varint (v1) according to runsForm — straight into a runSet via
+// the streaming visitors, returning the bytes consumed. Run storage is
+// sized once from the leading count (exact for v2, where it is the run
+// count; worst case for v1, where it counts cells) so decoding never
+// regrows the slice.
+func decodeCellSetAny(src []byte, runsForm bool, into *runSet) (int, error) {
+	if n, read := binary.Uvarint(src); read > 0 && n <= uint64(len(src)) && into.runs == nil {
+		into.runs = make([]uint64, 0, 2*n)
+	}
+	if runsForm {
+		return binenc.DecodeRunsInto(src, func(start, length uint64) bool {
+			into.appendRun(start, length)
+			return true
+		})
+	}
+	return binenc.DecodeCellSetInto(src, func(cell uint64) bool {
+		into.appendRun(cell, 1)
+		return true
+	})
+}
+
+// decodeRecord parses a pair-record value of either format version.
 func decodeRecord(val []byte) (*record, error) {
 	if len(val) == 0 {
 		return nil, fmt.Errorf("lineage: empty pair record")
 	}
 	flags, rest := val[0], val[1:]
-	outs, n, err := binenc.DecodeCellSet(rest)
+	if flags > recPayloadRuns {
+		return nil, fmt.Errorf("lineage: unknown pair record flags %d", flags)
+	}
+	runsForm := flags == recFullRuns || flags == recPayloadRuns
+	isPayload := flags == recPayload || flags == recPayloadRuns
+	rec := &record{}
+	n, err := decodeCellSetAny(rest, runsForm, &rec.outs)
 	if err != nil {
 		return nil, fmt.Errorf("lineage: pair record outs: %w", err)
 	}
 	rest = rest[n:]
-	switch flags {
-	case recPayload:
+	if isPayload {
 		payload, _, err := binenc.DecodeBytes(rest)
 		if err != nil {
 			return nil, fmt.Errorf("lineage: pair record payload: %w", err)
 		}
-		p := make([]byte, len(payload)) // non-nil even when empty
-		copy(p, payload)
-		return &record{outs: outs, payload: p}, nil
-	case recFull:
-		nIns, read := binary.Uvarint(rest)
-		if read <= 0 || nIns > 255 {
-			return nil, fmt.Errorf("lineage: pair record input count")
-		}
-		rest = rest[read:]
-		ins := make([][]uint64, nIns)
-		for i := range ins {
-			set, n, err := binenc.DecodeCellSet(rest)
-			if err != nil {
-				return nil, fmt.Errorf("lineage: pair record input %d: %w", i, err)
-			}
-			ins[i] = set
-			rest = rest[n:]
-		}
-		return &record{outs: outs, ins: ins}, nil
-	default:
-		return nil, fmt.Errorf("lineage: unknown pair record flags %d", flags)
+		rec.payload = make([]byte, len(payload)) // non-nil even when empty
+		copy(rec.payload, payload)
+		return rec, nil
 	}
+	nIns, read := binary.Uvarint(rest)
+	if read <= 0 || nIns > 255 {
+		return nil, fmt.Errorf("lineage: pair record input count")
+	}
+	rest = rest[read:]
+	rec.ins = make([]runSet, nIns)
+	for i := range rec.ins {
+		n, err := decodeCellSetAny(rest, runsForm, &rec.ins[i])
+		if err != nil {
+			return nil, fmt.Errorf("lineage: pair record input %d: %w", i, err)
+		}
+		rest = rest[n:]
+	}
+	return rec, nil
 }
 
 // encodeIDList serializes the pair-id list stored in a One-encoding cell
@@ -118,23 +231,29 @@ func encodeIDList(ids []uint64) []byte {
 	return buf
 }
 
-// decodeIDList parses a cell entry's pair-id list.
-func decodeIDList(val []byte) ([]uint64, error) {
+// appendIDList parses a cell entry's pair-id list, appending to dst so
+// the lookup hot path can reuse one scratch slice across probes.
+func appendIDList(dst []uint64, val []byte) ([]uint64, error) {
 	n, read := binary.Uvarint(val)
 	if read <= 0 || n > uint64(len(val)) {
-		return nil, fmt.Errorf("lineage: cell entry id count")
+		return dst, fmt.Errorf("lineage: cell entry id count")
 	}
-	ids := make([]uint64, 0, n)
 	off := read
 	for i := uint64(0); i < n; i++ {
 		id, read := binary.Uvarint(val[off:])
 		if read <= 0 {
-			return nil, fmt.Errorf("lineage: cell entry id %d truncated", i)
+			return dst, fmt.Errorf("lineage: cell entry id %d truncated", i)
 		}
-		ids = append(ids, id)
+		dst = append(dst, id)
 		off += read
 	}
-	return ids, nil
+	return dst, nil
+}
+
+// decodeIDList parses a cell entry's pair-id list into a fresh slice
+// (write-path merges; lookups use appendIDList).
+func decodeIDList(val []byte) ([]uint64, error) {
+	return appendIDList(nil, val)
 }
 
 // encodePayloadList serializes the payload list stored in a PayOne cell
@@ -149,21 +268,42 @@ func encodePayloadList(payloads [][]byte) []byte {
 	return buf
 }
 
-// decodePayloadList parses a PayOne cell entry.
-func decodePayloadList(val []byte) ([][]byte, error) {
+// forEachPayload streams the payloads of a PayOne cell entry into fn
+// without copying; each payload aliases val and is only valid for the
+// duration of the call. A non-nil error from fn stops the scan and is
+// returned.
+func forEachPayload(val []byte, fn func(p []byte) error) error {
 	n, read := binary.Uvarint(val)
 	if read <= 0 || n > uint64(len(val))+1 {
-		return nil, fmt.Errorf("lineage: payload list count")
+		return fmt.Errorf("lineage: payload list count")
 	}
-	out := make([][]byte, 0, n)
 	off := read
 	for i := uint64(0); i < n; i++ {
 		p, consumed, err := binenc.DecodeBytes(val[off:])
 		if err != nil {
-			return nil, fmt.Errorf("lineage: payload %d: %w", i, err)
+			return fmt.Errorf("lineage: payload %d: %w", i, err)
 		}
-		out = append(out, append([]byte(nil), p...))
+		if err := fn(p); err != nil {
+			return err
+		}
 		off += consumed
+	}
+	return nil
+}
+
+// decodePayloadList parses a PayOne cell entry into copied payload slices
+// (write-path merges; lookups use forEachPayload).
+func decodePayloadList(val []byte) ([][]byte, error) {
+	var out [][]byte
+	err := forEachPayload(val, func(p []byte) error {
+		out = append(out, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		out = [][]byte{}
 	}
 	return out, nil
 }

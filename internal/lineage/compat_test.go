@@ -1,0 +1,232 @@
+package lineage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"subzero/internal/binenc"
+	"subzero/internal/bitmap"
+	"subzero/internal/grid"
+	"subzero/internal/kvstore"
+)
+
+// encodeRecordV1 reproduces the pre-span (v1) record encoding byte for
+// byte: flags 0/1 followed by per-cell delta+varint cell sets. Stores
+// written before the span codec hold records in exactly this form.
+func encodeRecordV1(rp *RegionPair) []byte {
+	var buf []byte
+	if rp.IsPayload() {
+		buf = append(buf, recPayload)
+		buf = binenc.AppendCellSet(buf, rp.Out)
+		buf = binenc.AppendBytes(buf, rp.Payload)
+		return buf
+	}
+	buf = append(buf, recFull)
+	buf = binenc.AppendCellSet(buf, rp.Out)
+	buf = binary.AppendUvarint(buf, uint64(len(rp.Ins)))
+	for _, in := range rp.Ins {
+		buf = binenc.AppendCellSet(buf, in)
+	}
+	return buf
+}
+
+// Golden v1 bytes must keep decoding: the flags byte doubles as the
+// format version, and 0/1 mark the legacy per-cell encoding.
+func TestDecodeGoldenV1Records(t *testing.T) {
+	// flags=0 (full), outs {1,5,9} as count+first+gaps, 2 inputs
+	// {0,2} and {7}.
+	goldenFull := []byte{0, 3, 1, 4, 4, 2, 2, 0, 2, 1, 7}
+	if want := encodeRecordV1(&RegionPair{Out: []uint64{1, 5, 9}, Ins: [][]uint64{{0, 2}, {7}}}); !bytes.Equal(goldenFull, want) {
+		t.Fatalf("golden v1 full bytes drifted from encoder: %v vs %v", goldenFull, want)
+	}
+	rec, err := decodeRecord(goldenFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.outs.cells(nil); !equalU64(got, []uint64{1, 5, 9}) {
+		t.Fatalf("v1 outs = %v", got)
+	}
+	if len(rec.ins) != 2 || !equalU64(rec.ins[0].cells(nil), []uint64{0, 2}) || !equalU64(rec.ins[1].cells(nil), []uint64{7}) {
+		t.Fatalf("v1 ins = %+v", rec.ins)
+	}
+
+	// flags=1 (payload), outs {4}, 3-byte payload.
+	goldenPay := []byte{1, 1, 4, 3, 9, 8, 7}
+	rec, err = decodeRecord(goldenPay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.outs.cells(nil); !equalU64(got, []uint64{4}) || !bytes.Equal(rec.payload, []byte{9, 8, 7}) {
+		t.Fatalf("v1 payload record = %v %v", got, rec.payload)
+	}
+}
+
+// The v2 span encoding is pinned too, so accidental format drift is
+// caught before it ships.
+func TestEncodeGoldenV2Records(t *testing.T) {
+	got := encodeRecord(&RegionPair{Out: []uint64{1, 5, 9}, Ins: [][]uint64{{0, 2}, {7}}})
+	// flags=2; outs: 3 runs (gap 1,len 1)(gap 3,len 1)(gap 3,len 1);
+	// 2 inputs: {0,2} = 2 runs, {7} = 1 run.
+	want := []byte{2, 3, 1, 1, 3, 1, 3, 1, 2, 2, 0, 1, 1, 1, 1, 7, 1}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("v2 full record bytes = %v, want %v", got, want)
+	}
+	// A dense run collapses: outs {10..15} is one (gap 10, len 6) pair.
+	got = encodeRecord(&RegionPair{Out: []uint64{10, 11, 12, 13, 14, 15}, Payload: []byte{1}})
+	want = []byte{3, 1, 10, 6, 1, 1}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("v2 payload record bytes = %v, want %v", got, want)
+	}
+}
+
+// Every v1 record an old store could contain must decode to the same
+// cell sets as its v2 re-encoding.
+func TestV1V2DecodeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		rp := RegionPair{Out: randCells(rng, 1+rng.Intn(40))}
+		if rng.Intn(2) == 0 {
+			rp.Ins = [][]uint64{randCells(rng, 1+rng.Intn(40)), randCells(rng, 1+rng.Intn(10))}
+		} else {
+			rp.Payload = []byte{byte(trial)}
+		}
+		v1, err := decodeRecord(encodeRecordV1(&rp))
+		if err != nil {
+			t.Fatalf("trial %d v1: %v", trial, err)
+		}
+		v2, err := decodeRecord(encodeRecord(&rp))
+		if err != nil {
+			t.Fatalf("trial %d v2: %v", trial, err)
+		}
+		if !equalU64(v1.outs.cells(nil), v2.outs.cells(nil)) {
+			t.Fatalf("trial %d outs differ", trial)
+		}
+		if len(v1.ins) != len(v2.ins) {
+			t.Fatalf("trial %d ins arity differ", trial)
+		}
+		for i := range v1.ins {
+			if !equalU64(v1.ins[i].cells(nil), v2.ins[i].cells(nil)) {
+				t.Fatalf("trial %d input %d differ", trial, i)
+			}
+		}
+		if !bytes.Equal(v1.payload, v2.payload) {
+			t.Fatalf("trial %d payload differ", trial)
+		}
+	}
+}
+
+func randCells(rng *rand.Rand, n int) []uint64 {
+	cells := make([]uint64, 0, n)
+	c := uint64(rng.Intn(5))
+	for i := 0; i < n; i++ {
+		cells = append(cells, c)
+		if rng.Intn(3) == 0 {
+			c += uint64(2 + rng.Intn(50)) // gap: new run
+		} else {
+			c++ // extend run
+		}
+	}
+	return cells
+}
+
+// A store whose hashtable was written entirely by the v1 encoder must
+// reopen and answer queries identically to a freshly written v2 store.
+func TestStoreReadsV1Records(t *testing.T) {
+	outSp := grid.NewSpace(grid.Shape{16, 16})
+	inSp := []*grid.Space{grid.NewSpace(grid.Shape{16, 16})}
+	rng := rand.New(rand.NewSource(7))
+	pairs := make([]RegionPair, 20)
+	for i := range pairs {
+		pairs[i] = RegionPair{Out: randCells(rng, 1+rng.Intn(8)), Ins: [][]uint64{randCells(rng, 1+rng.Intn(8))}}
+		pairs[i].Normalize()
+		clip(&pairs[i], outSp.Size())
+	}
+
+	// v2 store written through the normal path.
+	kvNew := kvstore.NewMem()
+	stNew, err := OpenStore(kvNew, StratFullOne, outSp, inSp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stNew.WritePairs(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if err := stNew.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// v1 store: same pairs, but pair records hand-written in v1 bytes.
+	kvOld := kvstore.NewMem()
+	stOld, err := OpenStore(kvOld, StratFullOne, outSp, inSp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stOld.WritePairs(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if err := stOld.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for id := range pairs {
+		if err := kvOld.Put(pairKey(uint64(id)), encodeRecordV1(&pairs[id])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reopen so no cached v2 record survives.
+	stOld, err = OpenStore(kvOld, StratFullOne, outSp, inSp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for trial := 0; trial < 20; trial++ {
+		q := bitmap.New(outSp)
+		for i := 0; i < 30; i++ {
+			q.Set(uint64(rng.Intn(int(outSp.Size()))))
+		}
+		dstOld, dstNew := bitmap.New(inSp[0]), bitmap.New(inSp[0])
+		if err := stOld.Backward(q, dstOld, 0, nil, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := stNew.Backward(q, dstNew, 0, nil, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		if !sameBitmap(dstOld, dstNew) {
+			t.Fatalf("trial %d: v1-record store answers differ from v2", trial)
+		}
+	}
+}
+
+func clip(rp *RegionPair, size uint64) {
+	trim := func(cells []uint64) []uint64 {
+		out := cells[:0]
+		for _, c := range cells {
+			if c < size {
+				out = append(out, c)
+			}
+		}
+		if len(out) == 0 {
+			out = append(out, 0)
+		}
+		return out
+	}
+	rp.Out = trim(rp.Out)
+	for i := range rp.Ins {
+		rp.Ins[i] = trim(rp.Ins[i])
+	}
+}
+
+func sameBitmap(a, b *bitmap.Bitmap) bool {
+	if a.Count() != b.Count() {
+		return false
+	}
+	same := true
+	a.Iterate(func(idx uint64) bool {
+		if !b.Get(idx) {
+			same = false
+		}
+		return same
+	})
+	return same
+}

@@ -1,12 +1,83 @@
 package lineage
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"sync"
 
 	"subzero/internal/bitmap"
 	"subzero/internal/grid"
+	"subzero/internal/kvstore"
 	"subzero/internal/rtree"
 )
+
+// The lookup hot path is span-oriented end to end: query bitmaps are
+// walked as runs, hashtable probes are grouped into batches served under
+// one kvstore lock, records decode into run sets replayed word-parallel
+// into the destination bitmap, and Many-encoding index probes are
+// rectangle window queries instead of per-cell point queries. Per-lookup
+// buffers live in a sync.Pool so a steady query load allocates almost
+// nothing.
+
+// probeBatchSize is how many per-cell hashtable probes are grouped into
+// one kvstore.GetBatch call (one lock acquisition / I/O pass per batch).
+// It is also the abort-poll granularity of the One-encoding paths.
+const probeBatchSize = 256
+
+// lookupScratch holds the reusable buffers of one in-flight lookup.
+type lookupScratch struct {
+	cells  []uint64            // batched query cells awaiting probe
+	keyBuf []byte              // arena backing the probe keys
+	keys   [][]byte            // per-cell probe keys, slices of keyBuf
+	ids    []uint64            // decoded pair-id list of one cell entry
+	seen   map[uint64]struct{} // pair ids already applied this lookup
+}
+
+var scratchPool = sync.Pool{
+	New: func() any { return &lookupScratch{seen: make(map[uint64]struct{}, 64)} },
+}
+
+func getScratch() *lookupScratch { return scratchPool.Get().(*lookupScratch) }
+
+func (sc *lookupScratch) release() {
+	sc.cells = sc.cells[:0]
+	clear(sc.seen)
+	scratchPool.Put(sc)
+}
+
+// forEachBatch walks q as runs, accumulating cells into sc.cells and
+// invoking process at every probeBatchSize boundary plus once for the
+// final partial batch. process consumes sc.cells and must reset it; a
+// false return stops the walk (and skips the final flush).
+func (sc *lookupScratch) forEachBatch(q *bitmap.Bitmap, process func() bool) {
+	ok := true
+	q.IterateRuns(func(start, length uint64) bool {
+		for c := start; c < start+length; c++ {
+			sc.cells = append(sc.cells, c)
+			if len(sc.cells) == probeBatchSize && !process() {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	if ok {
+		process()
+	}
+}
+
+// buildKeys fills the key arena with one cell key per batched cell.
+func (sc *lookupScratch) buildKeys(slot int) {
+	sc.keyBuf = sc.keyBuf[:0]
+	sc.keys = sc.keys[:0]
+	for _, c := range sc.cells {
+		off := len(sc.keyBuf)
+		sc.keyBuf = append(sc.keyBuf, keyCell, byte(slot))
+		sc.keyBuf = binary.BigEndian.AppendUint64(sc.keyBuf, c)
+		sc.keys = append(sc.keys, sc.keyBuf[off:len(sc.keyBuf):len(sc.keyBuf)])
+	}
+}
 
 // Backward resolves the backward lineage of the query cells q (a bitmap
 // over the operator's output space) into input inputIdx, OR-ing the result
@@ -26,7 +97,7 @@ func (s *Store) Backward(q, dst *bitmap.Bitmap, inputIdx int, mapp PayloadFn, co
 	if (s.strat.Mode == Pay || s.strat.Mode == Comp) && mapp == nil {
 		return fmt.Errorf("lineage: %s store requires a payload mapping function", s.strat)
 	}
-	if err := s.flushPending(); err != nil {
+	if err := s.maybeFlushPending(); err != nil {
 		return err
 	}
 	if s.strat.Orient == ForwardOpt {
@@ -35,7 +106,7 @@ func (s *Store) Backward(q, dst *bitmap.Bitmap, inputIdx int, mapp PayloadFn, co
 	}
 	switch {
 	case s.strat.Enc == One && s.strat.Mode == Full:
-		return s.backwardFullOne(q, dst, inputIdx, abort)
+		return s.lookupFullOne(q, dst, 0, inputIdx, false, abort)
 	case s.strat.Enc == Many && s.strat.Mode == Full:
 		return s.backwardFullMany(q, dst, inputIdx, abort)
 	case s.strat.Enc == One:
@@ -45,56 +116,80 @@ func (s *Store) Backward(q, dst *bitmap.Bitmap, inputIdx int, mapp PayloadFn, co
 	}
 }
 
-func (s *Store) backwardFullOne(q, dst *bitmap.Bitmap, inputIdx int, abort func() bool) error {
+// lookupFullOne serves both directions of the FullOne encodings: probe
+// the slot's per-cell hash entries in batches, then replay each distinct
+// referenced pair record into dst exactly once (records repeat under
+// fanout, so the dedup both batches record fetches and skips redundant
+// bitmap writes).
+func (s *Store) lookupFullOne(q, dst *bitmap.Bitmap, slot, inputIdx int, forward bool, abort func() bool) error {
+	sc := getScratch()
+	defer sc.release()
 	var err error
-	n := 0
-	q.Iterate(func(cell uint64) bool {
-		if n++; n%abortCheckInterval == 0 && aborted(abort) {
+	process := func() bool {
+		if len(sc.cells) == 0 {
+			return true
+		}
+		if aborted(abort) {
 			err = ErrAborted
 			return false
 		}
-		val, ok, gerr := s.kv.Get(cellKey(0, cell))
-		if gerr != nil {
-			err = gerr
+		sc.buildKeys(slot)
+		// Phase 1: drain the hashtable batch into the id scratch. No
+		// store re-entry happens under the batch's lock; record fetches
+		// wait for phase 2.
+		sc.ids = sc.ids[:0]
+		berr := kvstore.GetBatch(s.kv, sc.keys, func(_ int, val []byte, ok bool) bool {
+			if !ok {
+				return true
+			}
+			sc.ids, err = appendIDList(sc.ids, val)
+			return err == nil
+		})
+		if berr != nil && err == nil {
+			err = berr
+		}
+		if err != nil {
 			return false
 		}
-		if !ok {
-			return true
-		}
-		ids, derr := decodeIDList(val)
-		if derr != nil {
-			err = derr
-			return false
-		}
-		for _, id := range ids {
+		// Phase 2: replay each referenced pair record exactly once.
+		for _, id := range sc.ids {
+			if _, dup := sc.seen[id]; dup {
+				continue
+			}
+			sc.seen[id] = struct{}{}
 			rec, rerr := s.getRecord(id)
 			if rerr != nil {
 				err = rerr
 				return false
 			}
-			dst.SetCells(rec.ins[inputIdx])
+			if forward {
+				rec.outs.addTo(dst)
+			} else {
+				rec.ins[inputIdx].addTo(dst)
+			}
 		}
+		sc.cells = sc.cells[:0]
 		return true
-	})
+	}
+	sc.forEachBatch(q, process)
 	return err
 }
 
 // candidateIDs collects the distinct pair ids whose key-side bounding box
-// contains any query cell, via per-cell point queries on the slot's R-tree.
+// intersects the query, by decomposing the query bitmap into covering
+// rectangles and running one R-tree window query per rectangle.
 func (s *Store) candidateIDs(q *bitmap.Bitmap, slot int, abort func() bool) (map[uint64]struct{}, error) {
 	ids := make(map[uint64]struct{})
 	tr := s.trees[slot]
-	space := s.slotSpace(slot)
-	coord := make(grid.Coord, space.Rank())
 	var err error
-	n := 0
-	q.Iterate(func(cell uint64) bool {
-		if n++; n%abortCheckInterval == 0 && aborted(abort) {
+	q.IterateRects(func(r grid.Rect) bool {
+		// One rect replaces a whole batch of point probes, so poll the
+		// abort hook on every window query.
+		if aborted(abort) {
 			err = ErrAborted
 			return false
 		}
-		space.UnravelInto(cell, coord)
-		tr.SearchPoint(coord, func(it rtree.Item) bool {
+		tr.SearchRect(r, func(it rtree.Item) bool {
 			ids[it.ID] = struct{}{}
 			return true
 		})
@@ -111,49 +206,68 @@ func (s *Store) backwardFullMany(q, dst *bitmap.Bitmap, inputIdx int, abort func
 	if err != nil {
 		return err
 	}
+	n := 0
 	for id := range ids {
+		if n++; n%abortCheckInterval == 0 && aborted(abort) {
+			return ErrAborted
+		}
 		rec, err := s.getRecord(id)
 		if err != nil {
 			return err
 		}
-		if intersectsBitmap(rec.outs, q) {
-			dst.SetCells(rec.ins[inputIdx])
+		if rec.outs.intersects(q) {
+			rec.ins[inputIdx].addTo(dst)
 		}
 	}
 	return nil
 }
 
 func (s *Store) backwardPayOne(q, dst *bitmap.Bitmap, inputIdx int, mapp PayloadFn, covered *bitmap.Bitmap, abort func() bool) error {
+	sc := getScratch()
+	defer sc.release()
 	var err error
 	var buf []uint64
 	n := 0
-	q.Iterate(func(cell uint64) bool {
-		if n++; n%abortCheckInterval == 0 && aborted(abort) {
+	process := func() bool {
+		if len(sc.cells) == 0 {
+			return true
+		}
+		if aborted(abort) {
 			err = ErrAborted
 			return false
 		}
-		val, ok, gerr := s.kv.Get(cellKey(0, cell))
-		if gerr != nil {
-			err = gerr
-			return false
-		}
-		if !ok {
+		sc.buildKeys(0)
+		berr := kvstore.GetBatch(s.kv, sc.keys, func(i int, val []byte, ok bool) bool {
+			if !ok {
+				return true
+			}
+			// map_p dominates this path, so the abort hook is polled at
+			// per-cell granularity inside the batch as well.
+			if n++; n%abortCheckInterval == 0 && aborted(abort) {
+				err = ErrAborted
+				return false
+			}
+			cell := sc.cells[i]
+			if perr := forEachPayload(val, func(p []byte) error {
+				buf = mapp(cell, p, inputIdx, buf[:0])
+				dst.SetCells(buf)
+				return nil
+			}); perr != nil {
+				err = perr
+				return false
+			}
+			if covered != nil {
+				covered.Set(cell)
+			}
 			return true
+		})
+		if berr != nil && err == nil {
+			err = berr
 		}
-		payloads, derr := decodePayloadList(val)
-		if derr != nil {
-			err = derr
-			return false
-		}
-		for _, p := range payloads {
-			buf = mapp(cell, p, inputIdx, buf[:0])
-			dst.SetCells(buf)
-		}
-		if covered != nil {
-			covered.Set(cell)
-		}
-		return true
-	})
+		sc.cells = sc.cells[:0]
+		return err == nil
+	}
+	sc.forEachBatch(q, process)
 	return err
 }
 
@@ -163,21 +277,26 @@ func (s *Store) backwardPayMany(q, dst *bitmap.Bitmap, inputIdx int, mapp Payloa
 		return err
 	}
 	var buf []uint64
+	n := 0
 	for id := range ids {
+		if n++; n%abortCheckInterval == 0 && aborted(abort) {
+			return ErrAborted
+		}
 		rec, err := s.getRecord(id)
 		if err != nil {
 			return err
 		}
-		for _, out := range rec.outs {
+		rec.outs.forEach(func(out uint64) bool {
 			if !q.Get(out) {
-				continue
+				return true
 			}
 			buf = mapp(out, rec.payload, inputIdx, buf[:0])
 			dst.SetCells(buf)
 			if covered != nil {
 				covered.Set(out)
 			}
-		}
+			return true
+		})
 	}
 	return nil
 }
@@ -190,8 +309,8 @@ func (s *Store) scanBackward(q, dst *bitmap.Bitmap, inputIdx int, abort func() b
 		if n++; n%abortCheckInterval == 0 && aborted(abort) {
 			return false, ErrAborted
 		}
-		if intersectsBitmap(rec.outs, q) {
-			dst.SetCells(rec.ins[inputIdx])
+		if rec.outs.intersects(q) {
+			rec.ins[inputIdx].addTo(dst)
 		}
 		return true, nil
 	})
@@ -211,7 +330,7 @@ func (s *Store) Forward(q, dst *bitmap.Bitmap, inputIdx int, mapp PayloadFn, abo
 	if (s.strat.Mode == Pay || s.strat.Mode == Comp) && mapp == nil {
 		return fmt.Errorf("lineage: %s store requires a payload mapping function", s.strat)
 	}
-	if err := s.flushPending(); err != nil {
+	if err := s.maybeFlushPending(); err != nil {
 		return err
 	}
 	switch {
@@ -227,50 +346,16 @@ func (s *Store) Forward(q, dst *bitmap.Bitmap, inputIdx int, mapp PayloadFn, abo
 			if n++; n%abortCheckInterval == 0 && aborted(abort) {
 				return false, ErrAborted
 			}
-			if intersectsBitmap(rec.ins[inputIdx], q) {
-				dst.SetCells(rec.outs)
+			if rec.ins[inputIdx].intersects(q) {
+				rec.outs.addTo(dst)
 			}
 			return true, nil
 		})
 	case s.strat.Enc == One:
-		return s.forwardFullOne(q, dst, inputIdx, abort)
+		return s.lookupFullOne(q, dst, inputIdx, inputIdx, true, abort)
 	default:
 		return s.forwardFullMany(q, dst, inputIdx, abort)
 	}
-}
-
-func (s *Store) forwardFullOne(q, dst *bitmap.Bitmap, inputIdx int, abort func() bool) error {
-	var err error
-	n := 0
-	q.Iterate(func(cell uint64) bool {
-		if n++; n%abortCheckInterval == 0 && aborted(abort) {
-			err = ErrAborted
-			return false
-		}
-		val, ok, gerr := s.kv.Get(cellKey(inputIdx, cell))
-		if gerr != nil {
-			err = gerr
-			return false
-		}
-		if !ok {
-			return true
-		}
-		ids, derr := decodeIDList(val)
-		if derr != nil {
-			err = derr
-			return false
-		}
-		for _, id := range ids {
-			rec, rerr := s.getRecord(id)
-			if rerr != nil {
-				err = rerr
-				return false
-			}
-			dst.SetCells(rec.outs)
-		}
-		return true
-	})
-	return err
 }
 
 func (s *Store) forwardFullMany(q, dst *bitmap.Bitmap, inputIdx int, abort func() bool) error {
@@ -278,17 +363,25 @@ func (s *Store) forwardFullMany(q, dst *bitmap.Bitmap, inputIdx int, abort func(
 	if err != nil {
 		return err
 	}
+	n := 0
 	for id := range ids {
+		if n++; n%abortCheckInterval == 0 && aborted(abort) {
+			return ErrAborted
+		}
 		rec, err := s.getRecord(id)
 		if err != nil {
 			return err
 		}
-		if intersectsBitmap(rec.ins[inputIdx], q) {
-			dst.SetCells(rec.outs)
+		if rec.ins[inputIdx].intersects(q) {
+			rec.outs.addTo(dst)
 		}
 	}
 	return nil
 }
+
+// errPayloadHit stops a payload scan early once the current cell is
+// established in the result.
+var errPayloadHit = errors.New("lineage: payload scan hit")
 
 func (s *Store) forwardPayOneScan(q, dst *bitmap.Bitmap, inputIdx int, mapp PayloadFn, abort func() bool) error {
 	var buf []uint64
@@ -300,16 +393,16 @@ func (s *Store) forwardPayOneScan(q, dst *bitmap.Bitmap, inputIdx int, mapp Payl
 		if dst.Get(cell) {
 			return true, nil // already established
 		}
-		payloads, err := decodePayloadList(val)
-		if err != nil {
-			return false, err
-		}
-		for _, p := range payloads {
+		err := forEachPayload(val, func(p []byte) error {
 			buf = mapp(cell, p, inputIdx, buf[:0])
 			if anyInBitmap(buf, q) {
 				dst.Set(cell)
-				break
+				return errPayloadHit
 			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, errPayloadHit) {
+			return false, err
 		}
 		return true, nil
 	})
@@ -322,15 +415,16 @@ func (s *Store) forwardPayManyScan(q, dst *bitmap.Bitmap, inputIdx int, mapp Pay
 		if n++; n%abortCheckInterval == 0 && aborted(abort) {
 			return false, ErrAborted
 		}
-		for _, out := range rec.outs {
+		rec.outs.forEach(func(out uint64) bool {
 			if dst.Get(out) {
-				continue
+				return true
 			}
 			buf = mapp(out, rec.payload, inputIdx, buf[:0])
 			if anyInBitmap(buf, q) {
 				dst.Set(out)
 			}
-		}
+			return true
+		})
 		return true, nil
 	})
 }
@@ -339,7 +433,7 @@ func (s *Store) forwardPayManyScan(q, dst *bitmap.Bitmap, inputIdx int, mapp Pay
 // (payload) pair. The query executor uses it to decide which output cells
 // of a composite operator keep their default mapping on the forward path.
 func (s *Store) ContainsOut(cell uint64) (bool, error) {
-	if err := s.flushPending(); err != nil {
+	if err := s.maybeFlushPending(); err != nil {
 		return false, err
 	}
 	if s.strat.Enc == One {
@@ -355,7 +449,7 @@ func (s *Store) ContainsOut(cell uint64) (bool, error) {
 			ferr = err
 			return false
 		}
-		if grid.ContainsSorted(rec.outs, cell) {
+		if rec.outs.contains(cell) {
 			found = true
 			return false
 		}

@@ -71,8 +71,11 @@ func TestRecordCodecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rec.outs) != 3 || len(rec.ins) != 2 || rec.ins[0][1] != 2 || rec.ins[1][0] != 7 {
-		t.Fatalf("full record round trip: %+v", rec)
+	if got := rec.outs.cells(nil); !equalU64(got, full.Out) {
+		t.Fatalf("full record outs: %v", got)
+	}
+	if len(rec.ins) != 2 || !equalU64(rec.ins[0].cells(nil), full.Ins[0]) || !equalU64(rec.ins[1].cells(nil), full.Ins[1]) {
+		t.Fatalf("full record ins round trip: %+v", rec)
 	}
 	if rec.payload != nil {
 		t.Fatal("full record has payload")
@@ -93,6 +96,18 @@ func TestRecordCodecRoundTrip(t *testing.T) {
 	if err != nil || rec.payload == nil {
 		t.Fatalf("empty payload: rec=%+v err=%v", rec, err)
 	}
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func TestRecordCodecErrors(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"subzero/internal/grid"
@@ -62,6 +63,12 @@ type Store struct {
 	pendingIDs   []map[uint64][]uint64
 	pendingPay   map[uint64][][]byte
 	pendingCount int
+
+	// pending mirrors pendingCount for the lock-free read fast path:
+	// lookups check it before taking mu, so concurrent queries against a
+	// flushed store never serialize on the mutex just to discover there
+	// is nothing to flush.
+	pending atomic.Int64
 
 	recCache map[uint64]*record
 
@@ -193,9 +200,11 @@ func (s *Store) WritePairs(pairs []RegionPair) error {
 	defer s.mu.Unlock()
 	for i := range pairs {
 		if err := s.writePair(&pairs[i]); err != nil {
+			s.pending.Store(int64(s.pendingCount))
 			return err
 		}
 	}
+	s.pending.Store(int64(s.pendingCount))
 	if s.pendingCount >= pendingFlushThreshold {
 		return s.flushPendingLocked()
 	}
@@ -280,6 +289,17 @@ func (s *Store) flushPending() error {
 	return s.flushPendingLocked()
 }
 
+// maybeFlushPending is the lookup-path gate: a lock-free check of the
+// atomic pending counter, falling through to the locked flush only when
+// buffered writes actually exist. Writes never overlap lookups (see the
+// Store contract), so a zero reading is stable for the whole lookup.
+func (s *Store) maybeFlushPending() error {
+	if s.pending.Load() == 0 {
+		return nil
+	}
+	return s.flushPending()
+}
+
 // flushPendingLocked merges buffered per-cell entries into the hashtable.
 // Reads of existing entries are batched before writes so the file store's
 // write buffer is drained once, not per key. Callers hold s.mu.
@@ -333,6 +353,7 @@ func (s *Store) flushPendingLocked() error {
 		s.pendingIDs[slot] = make(map[uint64][]uint64)
 	}
 	s.pendingCount = 0
+	s.pending.Store(0)
 	return nil
 }
 

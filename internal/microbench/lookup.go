@@ -1,0 +1,114 @@
+package microbench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+
+	"subzero/internal/array"
+	"subzero/internal/grid"
+	"subzero/internal/kvstore"
+	"subzero/internal/lineage"
+	"subzero/internal/query"
+	"subzero/internal/workflow"
+)
+
+// Fixture is a warmed single-operator run for repeated lookup
+// measurement: the synthetic workflow has executed, lineage is flushed,
+// and the same QueryCellCount-cell query can be executed over and over
+// against the materialized store. The lookup benchmarks and the
+// subzero-bench "lookup" figure both drive it.
+type Fixture struct {
+	Strategy string
+	Cfg      Config
+
+	run   *workflow.Run
+	qe    *query.Executor
+	cells []uint64
+	mgr   *kvstore.Manager
+}
+
+// NewFixture executes the synthetic workflow under the strategy and
+// returns the warmed fixture. An empty storageRoot keeps lineage in
+// memory, isolating lookup CPU cost from I/O.
+func NewFixture(ctx context.Context, cfg Config, strategy, storageRoot string) (*Fixture, error) {
+	plan, err := planFor(strategy)
+	if err != nil {
+		return nil, err
+	}
+	spec := workflow.NewSpec("microbench-lookup")
+	spec.Add(NodeID, NewSyntheticOp(cfg), workflow.FromExternal("input"))
+	input, err := array.New("input", grid.Shape{cfg.Rows, cfg.Cols})
+	if err != nil {
+		return nil, err
+	}
+	root := storageRoot
+	if root != "" {
+		root = filepath.Join(storageRoot, fmt.Sprintf("lookup-%s-%d-%d", sanitize(strategy), cfg.Fanin, cfg.Fanout))
+	}
+	mgr, err := kvstore.NewManager(root)
+	if err != nil {
+		return nil, err
+	}
+	exec := workflow.NewExecutor(array.NewVersions(), mgr, lineage.NewCollector())
+	run, err := exec.Execute(ctx, spec, plan, map[string]*array.Array{"input": input})
+	if err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 100))
+	size := int64(cfg.Rows) * int64(cfg.Cols)
+	cells := make([]uint64, QueryCellCount)
+	for i := range cells {
+		cells[i] = uint64(rng.Int63n(size))
+	}
+	f := &Fixture{
+		Strategy: strategy,
+		Cfg:      cfg,
+		run:      run,
+		qe:       query.New(run, exec.Stats(), query.Options{EntireArray: true, Dynamic: false}),
+		cells:    cells,
+		mgr:      mgr,
+	}
+	// Warm both directions once so store flushes, spatial indexes, and
+	// record caches are hot before measurement starts.
+	if _, err := f.Backward(ctx); err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	if _, err := f.Forward(ctx); err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// Backward executes one backward query of QueryCellCount cells and
+// returns the result cardinality.
+func (f *Fixture) Backward(ctx context.Context) (int, error) {
+	res, err := f.qe.Execute(ctx, query.Query{
+		Direction: query.Backward, Cells: f.cells,
+		Path: []query.Step{{Node: NodeID}},
+	})
+	if err != nil {
+		return 0, err
+	}
+	return int(res.Bitmap.Count()), nil
+}
+
+// Forward executes one forward query of QueryCellCount cells and returns
+// the result cardinality.
+func (f *Fixture) Forward(ctx context.Context) (int, error) {
+	res, err := f.qe.Execute(ctx, query.Query{
+		Direction: query.Forward, Cells: f.cells,
+		Path: []query.Step{{Node: NodeID}},
+	})
+	if err != nil {
+		return 0, err
+	}
+	return int(res.Bitmap.Count()), nil
+}
+
+// Close releases the fixture's stores.
+func (f *Fixture) Close() { f.mgr.Close() }

@@ -1,0 +1,51 @@
+package microbench
+
+import (
+	"context"
+	"testing"
+)
+
+// benchConfig is the lookup benchmark workload: the paper's 1000×1000
+// array at 10% coverage with a representative fanin/fanout, queried with
+// QueryCellCount cells per operation.
+func benchConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Fanin, cfg.Fanout = 25, 4
+	return cfg
+}
+
+func benchLookup(b *testing.B, strategy string, forward bool) {
+	f, err := NewFixture(context.Background(), benchConfig(), strategy, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int
+		if forward {
+			n, err = f.Forward(context.Background())
+		} else {
+			n, err = f.Backward(context.Background())
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal("empty lookup result")
+		}
+	}
+}
+
+func BenchmarkBackwardLookup(b *testing.B) {
+	for _, strat := range []string{"<-FullOne", "<-FullMany", "<-PayOne"} {
+		b.Run(strat, func(b *testing.B) { benchLookup(b, strat, false) })
+	}
+}
+
+func BenchmarkForwardLookup(b *testing.B) {
+	for _, strat := range []string{"->FullOne", "<-FullOne"} {
+		b.Run(strat, func(b *testing.B) { benchLookup(b, strat, true) })
+	}
+}

@@ -26,6 +26,13 @@ const (
 // bitmap is saturated (the paper's early-close optimization).
 var errTraceDone = errors.New("query: trace complete")
 
+// stepPool recycles the per-step intermediate boolean arrays across all
+// executors: each query allocates one bitmap per path step and discards
+// all but the final result, so steady query traffic reuses the same word
+// storage instead of re-allocating it. Result bitmaps handed to callers
+// are never returned to the pool.
+var stepPool bitmap.Pool
+
 // candidate is one way to resolve a step, with its cost estimate.
 type candidate struct {
 	label string
@@ -41,12 +48,12 @@ func (e *Executor) executeStep(ctx context.Context, d Direction, st Step, cur *b
 	if err != nil {
 		return report, nil, err
 	}
-	next := bitmap.New(destSpace)
 	node := e.run.Spec.Node(st.Node)
 	mc, err := e.run.MapCtx(st.Node)
 	if err != nil {
 		return report, nil, err
 	}
+	next := stepPool.Get(destSpace)
 	// The run-wide MapCtx carries shared coordinate scratch; concurrent
 	// queries (QueryBatch) must not share it, so each step works on a
 	// private clone.
@@ -87,17 +94,23 @@ func (e *Executor) executeStep(ctx context.Context, d Direction, st Step, cur *b
 	report.AccessPath = chosen.label
 	runErr := func() error {
 		if !e.opts.Dynamic || chosen.label == PathReexec {
-			return chosen.run(nil)
+			// Saturation short-circuit: even without the query-time
+			// optimizer, store lookups close early once every
+			// destination cell is set — the abort surfaces as a "full"
+			// ErrAborted, which is the entire-array fast path succeeding
+			// mid-step.
+			return chosen.run(next.Full)
 		}
 		// Query-time optimizer: monitor the lineage access and abort once
 		// it has consumed the re-execution budget; the subsequent fallback
 		// bounds the step at ~2x black-box (paper §VII-A).
 		deadline := start.Add(reexecBudget)
-		return chosen.run(func() bool { return time.Now().After(deadline) })
+		return chosen.run(func() bool { return next.Full() || time.Now().After(deadline) })
 	}()
 
 	if runErr != nil {
 		if !errors.Is(runErr, lineage.ErrAborted) {
+			stepPool.Put(next)
 			return report, nil, runErr
 		}
 		if !next.Full() {
@@ -106,6 +119,7 @@ func (e *Executor) executeStep(ctx context.Context, d Direction, st Step, cur *b
 			report.FellBack = true
 			report.AccessPath = chosen.label + "+" + PathReexec
 			if err := e.runReexec(ctx, d, st, cur, next, &report); err != nil {
+				stepPool.Put(next)
 				return report, nil, err
 			}
 		}
@@ -258,7 +272,8 @@ func (e *Executor) runStore(d Direction, st Step, node *workflow.Node, mc *workf
 func (e *Executor) runComposite(d Direction, st Step, node *workflow.Node, mc *workflow.MapCtx, store *lineage.Store, cur, next *bitmap.Bitmap, abort func() bool) error {
 	mapp := e.payloadFn(node, mc)
 	if d == Backward {
-		covered := bitmap.New(mc.OutSpace)
+		covered := stepPool.Get(mc.OutSpace)
+		defer stepPool.Put(covered)
 		if err := store.Backward(cur, next, st.InputIdx, mapp, covered, abort); err != nil {
 			return err
 		}

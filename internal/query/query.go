@@ -213,17 +213,23 @@ func (e *Executor) Execute(ctx context.Context, q Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cur := bitmap.FromCells(srcSpace, q.Cells)
+	cur := stepPool.Get(srcSpace)
+	cur.SetCells(q.Cells)
 	res := &Result{}
 	for _, st := range q.Path {
 		if err := ctx.Err(); err != nil {
+			stepPool.Put(cur)
 			return nil, fmt.Errorf("query: cancelled at step %s[%d]: %w", st.Node, st.InputIdx, err)
 		}
 		report, next, err := e.executeStep(ctx, q.Direction, st, cur)
 		if err != nil {
+			stepPool.Put(cur)
 			return nil, fmt.Errorf("query: step %s[%d]: %w", st.Node, st.InputIdx, err)
 		}
 		res.Steps = append(res.Steps, report)
+		// The consumed intermediate goes back to the pool; the final
+		// bitmap below is handed to the caller and never recycled.
+		stepPool.Put(cur)
 		cur = next
 		if cur.Empty() {
 			break // nothing left to trace

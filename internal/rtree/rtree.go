@@ -254,6 +254,13 @@ func (t *Tree) search(n *node, q grid.Rect, fn func(Item) bool) bool {
 	return true
 }
 
+// SearchRect calls fn for every item whose rectangle intersects the
+// window q — one window query replaces a batch of SearchPoint probes when
+// the query cells decompose into rectangles. The window is not retained.
+func (t *Tree) SearchRect(q grid.Rect, fn func(Item) bool) {
+	t.Search(q, fn)
+}
+
 // SearchPoint calls fn for every item whose rectangle contains the
 // coordinate.
 func (t *Tree) SearchPoint(c grid.Coord, fn func(Item) bool) {
