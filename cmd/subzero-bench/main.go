@@ -9,6 +9,8 @@
 //	subzero-bench fig7    genomics optimizer sweep over storage budgets
 //	subzero-bench fig8    microbenchmark overhead vs fanin/fanout
 //	subzero-bench fig9    microbenchmark backward query cost
+//	subzero-bench capture capture overhead with lineage on/off, serial vs
+//	                      sharded asynchronous ingest (-ingest-shards)
 //	subzero-bench all     everything above
 //
 // Absolute numbers differ from the 2013 Python/BerkeleyDB prototype; the
@@ -29,6 +31,7 @@ import (
 	"subzero/internal/astro"
 	"subzero/internal/benchfmt"
 	"subzero/internal/genomics"
+	"subzero/internal/lineage"
 	"subzero/internal/microbench"
 )
 
@@ -40,10 +43,12 @@ func main() {
 }
 
 type options struct {
-	astroScale float64
-	genScale   int
-	microSize  int
-	dir        string
+	astroScale   float64
+	genScale     int
+	microSize    int
+	dir          string
+	ingestShards int
+	ingestDepth  int
 }
 
 // jsonReport collects every rendered table when -json is set, for the
@@ -64,6 +69,8 @@ func run(args []string) error {
 	fs.IntVar(&opts.genScale, "gen-scale", 100, "genomics patient replication (100 = paper)")
 	fs.IntVar(&opts.microSize, "micro-size", 1000, "microbenchmark array side (1000 = paper)")
 	fs.StringVar(&opts.dir, "dir", "", "lineage storage directory (default: in-memory stores)")
+	fs.IntVar(&opts.ingestShards, "ingest-shards", 4, "shard workers for the capture table's sharded rows (capture figure)")
+	fs.IntVar(&opts.ingestDepth, "ingest-depth", 0, "per-shard ingest queue depth in batches (default 8)")
 	jsonPath := fs.String("json", "", "also write the figure tables as machine-readable JSON to this path (e.g. BENCH.json)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile at exit to this path")
@@ -104,7 +111,7 @@ func run(args []string) error {
 		opts.microSize = 300
 	}
 	if fs.NArg() < 1 {
-		return fmt.Errorf("usage: subzero-bench [flags] fig5a|fig5b|fig6a|fig6b|fig6c|fig7|fig8|fig9|all")
+		return fmt.Errorf("usage: subzero-bench [flags] fig5a|fig5b|fig6a|fig6b|fig6c|fig7|fig8|fig9|capture|all")
 	}
 	// Ctrl-C cancels the in-flight workflow or query via the v2 context-
 	// aware API.
@@ -115,9 +122,10 @@ func run(args []string) error {
 		"fig5a": fig5a, "fig5b": fig5b,
 		"fig6a": fig6a, "fig6b": fig6b, "fig6c": fig6c,
 		"fig7": fig7, "fig8": fig8, "fig9": fig9,
+		"capture": capture,
 	}
 	if cmd == "all" {
-		for _, name := range []string{"fig5a", "fig5b", "fig6a", "fig6b", "fig6c", "fig7", "fig8", "fig9"} {
+		for _, name := range []string{"fig5a", "fig5b", "fig6a", "fig6b", "fig6c", "fig7", "fig8", "fig9", "capture"} {
 			if err := runners[name](ctx, opts); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -306,6 +314,68 @@ func fig7(ctx context.Context, opts options) error {
 		}
 	}
 	fmt.Println()
+	return nil
+}
+
+// capture reproduces the BENCH_5 capture-overhead table: workflow runtime
+// with lineage off (BlackBox) and on, comparing the serial write path
+// against the sharded asynchronous ingest pipeline on the genomics and
+// astronomy workloads. "op overhead" is the lineage time the operator
+// threads pay — under sharding it collapses to the enqueue + drain cost,
+// while the encode work moves to the shard workers ("encode" column).
+func capture(ctx context.Context, opts options) error {
+	shards := opts.ingestShards
+	if shards < 2 {
+		shards = 2
+	}
+	configs := []struct {
+		label  string
+		ingest lineage.IngestConfig
+	}{
+		{"serial", lineage.IngestConfig{}},
+		{fmt.Sprintf("sharded x%d", shards), lineage.IngestConfig{Shards: shards, Depth: opts.ingestDepth}},
+	}
+	t := benchfmt.NewTable("Capture overhead: serial vs sharded asynchronous ingest",
+		"workload", "strategy", "ingest", "pairs", "runtime", "op write", "drain", "capture total", "encode")
+	fmt.Printf("capture-overhead sweep (shards=%d)\n\n", shards)
+
+	type captureRow struct {
+		workload, strategy, ingestLabel   string
+		pairs                             int64
+		elapsed, opWrite, drain, overhead time.Duration
+		encode                            time.Duration
+	}
+	var rows []captureRow
+	genCfg := genomics.DefaultGenConfig().Scaled(opts.genScale)
+	for _, strat := range []string{"BlackBox", "FullOne", "FullMany"} {
+		for _, cfg := range configs {
+			if strat == "BlackBox" && cfg.ingest.Enabled() {
+				continue // no lineage to capture; one baseline row suffices
+			}
+			res, err := genomics.CaptureRun(ctx, strat, genCfg, cfg.ingest, opts.dir)
+			if err != nil {
+				return fmt.Errorf("genomics %s/%s: %w", strat, cfg.label, err)
+			}
+			rows = append(rows, captureRow{"genomics", strat, cfg.label, res.Pairs, res.Elapsed, res.OpWrite, res.Drain, res.Overhead, res.Encode})
+		}
+	}
+	astroCfg := astro.DefaultGenConfig().Scaled(opts.astroScale)
+	for _, strat := range []string{"BlackBox", "FullOne", "FullMany"} {
+		for _, cfg := range configs {
+			if strat == "BlackBox" && cfg.ingest.Enabled() {
+				continue
+			}
+			res, err := astro.CaptureRun(ctx, strat, astroCfg, cfg.ingest, opts.dir)
+			if err != nil {
+				return fmt.Errorf("astronomy %s/%s: %w", strat, cfg.label, err)
+			}
+			rows = append(rows, captureRow{"astronomy", strat, cfg.label, res.Pairs, res.Elapsed, res.OpWrite, res.Drain, res.Overhead, res.Encode})
+		}
+	}
+	for _, r := range rows {
+		t.AddRow(r.workload, r.strategy, r.ingestLabel, r.pairs, r.elapsed, r.opWrite, r.drain, r.overhead, r.encode)
+	}
+	render(t)
 	return nil
 }
 

@@ -44,6 +44,8 @@ func run() error {
 	maxInFlight := flag.Int("max-inflight", server.DefaultMaxInFlight, "bounded in-flight request cap")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
 	quiet := flag.Bool("quiet", false, "disable per-request logging")
+	ingestShards := flag.Int("ingest-shards", 0, "lineage ingest shard workers per run (<=1 keeps capture synchronous)")
+	ingestDepth := flag.Int("ingest-depth", 0, "per-shard ingest queue depth in batches (default 8)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "subzero-serve: ", log.LstdFlags)
@@ -54,6 +56,9 @@ func run() error {
 	}
 	if *parallelism > 0 {
 		opts = append(opts, subzero.WithParallelism(*parallelism))
+	}
+	if *ingestShards > 1 {
+		opts = append(opts, subzero.WithIngest(*ingestShards, *ingestDepth))
 	}
 	sys, err := subzero.NewSystem(opts...)
 	if err != nil {

@@ -1,0 +1,186 @@
+package subzero_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"subzero"
+)
+
+// ingestPipeline builds a system with the sharded asynchronous capture
+// pipeline enabled and a spec whose nodes store full lineage.
+func ingestPipeline(t *testing.T, shards int) (*subzero.System, *subzero.Spec, subzero.Plan, map[string]*subzero.Array) {
+	t.Helper()
+	sys, err := subzero.NewSystem(subzero.WithIngest(shards, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	spec := subzero.NewSpec("ingest")
+	spec.Add("double", subzero.UnaryOp("double", func(x float64) float64 { return 2 * x }),
+		subzero.FromExternal("src"))
+	kernel, err := subzero.StandardKernels("box3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	smooth, err := subzero.ConvolveOp("smooth", kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Add("smooth", smooth, subzero.FromNode("double"))
+	src, err := subzero.NewArray("src", subzero.Shape{16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src.Data() {
+		src.Data()[i] = float64(i)
+	}
+	plan := subzero.Plan{
+		"double": {subzero.StratFullOne},
+		"smooth": {subzero.StratFullMany},
+	}
+	return sys, spec, plan, map[string]*subzero.Array{"src": src}
+}
+
+func ingestQueries(n int) []subzero.Query {
+	queries := make([]subzero.Query, n)
+	for i := range queries {
+		queries[i] = subzero.Query{
+			Direction: subzero.Backward,
+			Cells:     []uint64{uint64((i * 13) % 256)},
+			Path: []subzero.Step{
+				{Node: "smooth", InputIdx: 0},
+				{Node: "double", InputIdx: 0},
+			},
+		}
+	}
+	return queries
+}
+
+// Satellite: QueryBatch against a completed run must return byte-identical
+// results while other workflows execute through the sharded ingest
+// pipeline — capture activity on one run must never bleed into the
+// consistency of another. Run under -race.
+func TestQueryBatchRacesShardedExecution(t *testing.T) {
+	sys, spec, plan, sources := ingestPipeline(t, 4)
+	ctx := context.Background()
+	run, err := sys.Execute(ctx, spec, plan, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := ingestQueries(24)
+
+	// Reference answers from the fully flushed, quiescent store.
+	want, err := sys.QueryBatch(ctx, run, queries, subzero.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range want.Errs {
+		if e != nil {
+			t.Fatalf("reference query %d failed: %v", i, e)
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	execErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r, err := sys.Execute(ctx, spec, plan, sources)
+			if err != nil {
+				execErr <- err
+				return
+			}
+			if err := sys.DropRun(r.ID); err != nil {
+				execErr <- err
+				return
+			}
+		}
+	}()
+
+	for round := 0; round < 8; round++ {
+		got, err := sys.QueryBatch(ctx, run, queries, subzero.QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range queries {
+			if got.Errs[i] != nil {
+				t.Fatalf("round %d query %d: %v", round, i, got.Errs[i])
+			}
+			if err := sameCells(got.Results[i], want.Results[i]); err != nil {
+				t.Fatalf("round %d query %d: %v", round, i, err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-execErr:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// Queries addressed at the very run being captured must also be
+// consistent: execute with sharded ingest, immediately batch-query the
+// returned run, and compare against a serially captured system.
+func TestShardedSystemMatchesSerialSystem(t *testing.T) {
+	ctx := context.Background()
+	serialSys, spec, plan, sources := ingestPipeline(t, 0)
+	serialRun, err := serialSys.Execute(ctx, spec, plan, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardedSys, spec2, plan2, sources2 := ingestPipeline(t, 4)
+	shardedRun, err := shardedSys.Execute(ctx, spec2, plan2, sources2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := ingestQueries(16)
+	a, err := serialSys.QueryBatch(ctx, serialRun, queries, subzero.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := shardedSys.QueryBatch(ctx, shardedRun, queries, subzero.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		if a.Errs[i] != nil || b.Errs[i] != nil {
+			t.Fatalf("query %d errs: %v / %v", i, a.Errs[i], b.Errs[i])
+		}
+		if err := sameCells(b.Results[i], a.Results[i]); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	snap := shardedSys.IngestSnapshot()
+	if snap.Shards != 4 || snap.Pairs == 0 {
+		t.Fatalf("sharded system snapshot not populated: %+v", snap)
+	}
+	if got := serialSys.IngestSnapshot(); got.Shards != 0 || got.Pairs != 0 {
+		t.Fatalf("serial system should report an idle pipeline: %+v", got)
+	}
+}
+
+// sameCells asserts two query results carry identical result bitmaps.
+func sameCells(got, want *subzero.QueryResult) error {
+	g, w := got.Cells(), want.Cells()
+	if len(g) != len(w) {
+		return fmt.Errorf("result has %d cells, want %d", len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			return fmt.Errorf("cell %d = %d, want %d", i, g[i], w[i])
+		}
+	}
+	return nil
+}

@@ -26,14 +26,15 @@ import (
 // scan and the tail is truncated, matching the paper's "lineage is a
 // recoverable cache" stance.
 type FileStore struct {
-	mu     sync.Mutex
-	f      *os.File
-	w      *bufio.Writer
-	index  map[string]recordRef
-	offset int64 // next append position
-	dirty  bool
-	closed bool
-	path   string
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	index   map[string]recordRef
+	offset  int64 // next append position
+	dirty   bool
+	closed  bool
+	path    string
+	metaLen int64 // size of the committed meta sidecar, for accounting
 }
 
 type recordRef struct {
@@ -72,6 +73,9 @@ func OpenFile(path string) (*FileStore, error) {
 		return nil, fmt.Errorf("kvstore: seek %s: %w", path, err)
 	}
 	s.w = bufio.NewWriterSize(f, writeBufBytes)
+	if info, err := os.Stat(s.metaPath()); err == nil {
+		s.metaLen = info.Size()
+	}
 	return s, nil
 }
 
@@ -155,6 +159,129 @@ func (s *FileStore) Put(key, val []byte) error {
 	s.offset += int64(crcSize + len(body))
 	s.dirty = true
 	return nil
+}
+
+// PutBatch implements BatchWriter: the whole batch is framed and appended
+// under one lock acquisition and one pass through the write buffer — the
+// group commit the ingest shard workers rely on. A crash mid-batch tears
+// the log inside the batch; recovery truncates at the first bad record,
+// exactly as for individual Puts.
+func (s *FileStore) PutBatch(kvs []KV) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	// Validate the whole batch before writing any of it, so an oversized
+	// record cannot leave a durably applied prefix behind an error.
+	for _, kv := range kvs {
+		if len(kv.Key) > maxKeyLen || len(kv.Val) > maxValLen {
+			return fmt.Errorf("kvstore: record too large (key %d, val %d)", len(kv.Key), len(kv.Val))
+		}
+	}
+	var body []byte
+	for _, kv := range kvs {
+		framing := uvarintLen(uint64(len(kv.Key))) + uvarintLen(uint64(len(kv.Val)))
+		need := framing + len(kv.Key) + len(kv.Val)
+		if cap(body) < need {
+			body = make([]byte, need)
+		}
+		body = body[:need]
+		n := binary.PutUvarint(body, uint64(len(kv.Key)))
+		n += binary.PutUvarint(body[n:], uint64(len(kv.Val)))
+		copy(body[n:], kv.Key)
+		copy(body[n+len(kv.Key):], kv.Val)
+		var hdr [crcSize]byte
+		binary.LittleEndian.PutUint32(hdr[:], crc32.Checksum(body, crcTable))
+		if _, err := s.w.Write(hdr[:]); err != nil {
+			return fmt.Errorf("kvstore: append: %w", err)
+		}
+		if _, err := s.w.Write(body); err != nil {
+			return fmt.Errorf("kvstore: append: %w", err)
+		}
+		s.index[string(kv.Key)] = recordRef{off: s.offset, klen: len(kv.Key), vlen: len(kv.Val)}
+		s.offset += int64(crcSize + need)
+	}
+	s.dirty = true
+	return nil
+}
+
+// metaMagic frames the meta sidecar: magic, CRC32 of the payload, payload.
+var metaMagic = []byte("szm1")
+
+// metaPath returns the sidecar file holding the atomically committed
+// metadata blob.
+func (s *FileStore) metaPath() string { return s.path + ".meta" }
+
+// CommitMeta implements MetaCommitter: the blob is written to a temp file
+// and renamed over the sidecar, so a crash at any point leaves either the
+// previous blob or the new one — never a torn mix. A torn temp file is
+// ignored on load.
+func (s *FileStore) CommitMeta(val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	buf := make([]byte, 0, len(metaMagic)+crcSize+len(val))
+	buf = append(buf, metaMagic...)
+	var crc [crcSize]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(val, crcTable))
+	buf = append(buf, crc[:]...)
+	buf = append(buf, val...)
+	tmp := s.metaPath() + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("kvstore: write meta temp: %w", err)
+	}
+	_, werr := f.Write(buf)
+	// Unlike the data log, the meta temp file IS fsynced before the
+	// rename: without it the rename can reach disk ahead of the temp
+	// file's contents, destroying the previous blob and leaving a torn
+	// new one — exactly the half-load this API exists to prevent. (The
+	// directory entry itself is not fsynced; losing the rename leaves
+	// the previous valid blob, which is fine.)
+	serr := f.Sync()
+	cerr := f.Close()
+	for _, err := range []error{werr, serr, cerr} {
+		if err != nil {
+			return fmt.Errorf("kvstore: write meta temp: %w", err)
+		}
+	}
+	if err := os.Rename(tmp, s.metaPath()); err != nil {
+		return fmt.Errorf("kvstore: commit meta: %w", err)
+	}
+	s.metaLen = int64(len(buf))
+	return nil
+}
+
+// LoadMeta implements MetaCommitter. A missing, truncated, or
+// corrupt sidecar reads as absent: lineage is a recoverable cache, so the
+// caller rebuilds what the blob described instead of half-loading it.
+func (s *FileStore) LoadMeta() ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	buf, err := os.ReadFile(s.metaPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("kvstore: read meta: %w", err)
+	}
+	hdr := len(metaMagic) + crcSize
+	if len(buf) < hdr || string(buf[:len(metaMagic)]) != string(metaMagic) {
+		return nil, false, nil // corrupt: treat as absent
+	}
+	want := binary.LittleEndian.Uint32(buf[len(metaMagic):hdr])
+	val := buf[hdr:]
+	if crc32.Checksum(val, crcTable) != want {
+		return nil, false, nil // corrupt: treat as absent
+	}
+	s.metaLen = int64(len(buf))
+	return val, true, nil
 }
 
 // Get implements Store. It flushes pending writes first so index offsets
@@ -270,12 +397,12 @@ func (s *FileStore) Len() int {
 	return len(s.index)
 }
 
-// SizeBytes implements Store: the log file size including garbage, which
-// is what a real deployment pays for.
+// SizeBytes implements Store: the log file size including garbage plus
+// the meta sidecar, which is what a real deployment pays for.
 func (s *FileStore) SizeBytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.offset
+	return s.offset + s.metaLen
 }
 
 // Sync implements Store: it drains the write buffer. Like the paper's

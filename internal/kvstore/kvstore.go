@@ -75,10 +75,60 @@ func GetBatch(s Store, keys [][]byte, fn func(i int, val []byte, ok bool) bool) 
 	return nil
 }
 
+// KV is one record of a write batch.
+type KV struct {
+	Key, Val []byte
+}
+
+// BatchWriter is an optional Store extension: apply several puts as one
+// group commit — a single lock acquisition and a single pass through the
+// backing medium's write path. The ingest shard workers commit encoded
+// lineage through this, so N buffered records cost one lock/IO round
+// instead of N.
+//
+// Against concurrent readers the batch is atomic: no Get/Scan observes a
+// prefix of it, because the whole batch applies under the store's lock.
+// Crash atomicity follows the log's usual stance — a torn batch is
+// detected by the CRC framing on reopen and the tail is discarded.
+type BatchWriter interface {
+	PutBatch(kvs []KV) error
+}
+
+// PutBatch applies a write batch to s, using the store's native group
+// commit when it implements BatchWriter and falling back to per-key Puts.
+func PutBatch(s Store, kvs []KV) error {
+	if bw, ok := s.(BatchWriter); ok {
+		return bw.PutBatch(kvs)
+	}
+	for _, kv := range kvs {
+		if err := s.Put(kv.Key, kv.Val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MetaCommitter is an optional Store extension holding one metadata blob
+// beside the record data, committed atomically: a reader either sees the
+// previous blob or the new one, never a torn mix — even across a crash
+// mid-commit (FileStore writes a temp file and renames it into place).
+// Lineage stores commit their pair counter, statistics, and serialized
+// spatial indexes as a single blob through this, so a crash mid-flush
+// cannot leave a store that half-loads.
+type MetaCommitter interface {
+	// CommitMeta atomically replaces the store's metadata blob.
+	CommitMeta(val []byte) error
+	// LoadMeta returns the last committed blob, with ok=false when no
+	// valid blob exists (never committed, or corrupt on disk — corruption
+	// is treated as absence because lineage is a recoverable cache).
+	LoadMeta() (val []byte, ok bool, err error)
+}
+
 // MemStore is an in-memory Store backed by a map.
 type MemStore struct {
 	mu    sync.RWMutex
 	data  map[string][]byte
+	meta  []byte
 	bytes int64
 }
 
@@ -118,6 +168,54 @@ func (m *MemStore) Get(key []byte) ([]byte, bool, error) {
 	}
 	v, ok := m.data[string(key)]
 	return v, ok, nil
+}
+
+// PutBatch implements BatchWriter: the whole batch applies under one
+// write lock, so no concurrent reader observes a partial batch.
+func (m *MemStore) PutBatch(kvs []KV) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.data == nil {
+		return ErrClosed
+	}
+	for _, kv := range kvs {
+		k := string(kv.Key)
+		if old, ok := m.data[k]; ok {
+			m.bytes -= int64(len(k) + len(old) + recordOverhead)
+		}
+		cp := make([]byte, len(kv.Val))
+		copy(cp, kv.Val)
+		m.data[k] = cp
+		m.bytes += int64(len(k) + len(kv.Val) + recordOverhead)
+	}
+	return nil
+}
+
+// CommitMeta implements MetaCommitter.
+func (m *MemStore) CommitMeta(val []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.data == nil {
+		return ErrClosed
+	}
+	m.bytes += int64(len(val)) - int64(len(m.meta))
+	m.meta = append(m.meta[:0], val...)
+	return nil
+}
+
+// LoadMeta implements MetaCommitter.
+func (m *MemStore) LoadMeta() ([]byte, bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.data == nil {
+		return nil, false, ErrClosed
+	}
+	if m.meta == nil {
+		return nil, false, nil
+	}
+	cp := make([]byte, len(m.meta))
+	copy(cp, m.meta)
+	return cp, true, nil
 }
 
 // GetBatch implements GetBatcher: all keys are resolved under one read

@@ -66,8 +66,11 @@ func (m *Manager) dropLocked(namespace string) error {
 	delete(m.stores, namespace)
 	closeErr := s.Close()
 	if m.root != "" {
-		if err := os.Remove(filepath.Join(m.root, sanitize(namespace)+".log")); err != nil && !os.IsNotExist(err) && closeErr == nil {
-			closeErr = err
+		base := filepath.Join(m.root, sanitize(namespace)+".log")
+		for _, path := range []string{base, base + ".meta", base + ".meta.tmp"} {
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) && closeErr == nil {
+				closeErr = err
+			}
 		}
 	}
 	return closeErr

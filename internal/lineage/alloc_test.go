@@ -48,3 +48,29 @@ func TestBackwardLookupAllocBound(t *testing.T) {
 		t.Fatalf("warmed Backward allocates %.1f/op, want <= 25 (per-cell allocations crept back?)", allocs)
 	}
 }
+
+// The write path must stay within a small constant allocation budget per
+// pair: one record encode, one batched key, and amortized map growth.
+// This guards the enqueue-side cost of the ingest pipeline — if per-pair
+// allocations creep up, capture overhead follows.
+func TestWritePairsAllocBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pairs := randomPairs(rng, 64)
+	st, err := OpenStore(kvstore.NewMem(), StratFullOne, tOutSpace, tInSpaces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm: pending maps, record batch scratch.
+	if err := st.WritePairs(pairs); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := st.WritePairs(pairs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perPair := allocs / float64(len(pairs))
+	if perPair > 10 {
+		t.Fatalf("FullOne write path allocates %.2f/pair, want <= 10 (capture overhead regression)", perPair)
+	}
+}

@@ -1,0 +1,460 @@
+package lineage
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the sharded asynchronous ingest pipeline: the write half
+// of the capture path, moved off the operator's thread.
+//
+//	operator ──lwrite──▶ Writer ──batches──▶ Coordinator
+//	                                            │ hash-partition
+//	                        ┌───────────┬───────┴───┬───────────┐
+//	                     shard 0     shard 1      ...        shard N-1
+//	                  span-encode  span-encode            span-encode
+//	                  build index  build index            build index
+//	                        └───────────┴─────┬─────┴───────────┘
+//	                                 kvstore group commit
+//
+// Operators pay only the enqueue cost (plus backpressure stalls when the
+// shards fall behind); the expensive span encoding (internal/binenc) and
+// hashtable/R-tree construction run on the shard workers. Flush becomes
+// a drain barrier, and a lookup racing an unflushed store barriers first
+// so it sees a consistent merged view (Store.beginRead).
+
+// DefaultIngestDepth is the per-shard queue depth, in batches, when the
+// config leaves Depth unset. The queue is deliberately shallow: each
+// batch already carries up to flushCellThreshold cells, so a deep queue
+// would only hide backpressure and grow the drain barrier.
+const DefaultIngestDepth = 8
+
+// IngestConfig sizes the asynchronous ingest pipeline.
+type IngestConfig struct {
+	// Shards is the number of shard workers encoding lineage off the
+	// operator thread. <= 1 keeps the synchronous write path.
+	Shards int
+	// Depth bounds each shard's queue, in batches; an operator that
+	// outruns the shards blocks on enqueue (backpressure) rather than
+	// buffering unboundedly. <= 0 selects DefaultIngestDepth.
+	Depth int
+}
+
+// Enabled reports whether the config asks for asynchronous ingest.
+func (c IngestConfig) Enabled() bool { return c.Shards > 1 }
+
+// normalized fills defaults.
+func (c IngestConfig) normalized() IngestConfig {
+	if c.Depth <= 0 {
+		c.Depth = DefaultIngestDepth
+	}
+	return c
+}
+
+// ingestTask is one unit of shard work: a sub-batch of pairs destined for
+// one store, with pre-assigned record ids, or a barrier token.
+type ingestTask struct {
+	store   *Store
+	pairs   []RegionPair
+	ids     []uint64 // pre-assigned pair ids; nil for PayOne
+	barrier *sync.WaitGroup
+}
+
+// ingestShard is one worker's queue plus its utilization counters.
+type ingestShard struct {
+	ch     chan ingestTask
+	pairs  int64         // guarded by Coordinator.statsMu
+	busyNS time.Duration // guarded by Coordinator.statsMu
+}
+
+// Coordinator hash-partitions raw region pairs across N shard workers —
+// the per-run ingest pipeline the workflow executor stands up when async
+// capture is enabled. One coordinator serves every store of a run;
+// operators execute serially, so at any moment the active writer's
+// stores are the only ones receiving work.
+//
+// Error model: the first failure (encode, commit, or context
+// cancellation) is latched; subsequent enqueues fail fast with it and
+// the drain barrier re-reports it, so the error reaches the operator
+// through the writer exactly as a synchronous write failure would.
+type Coordinator struct {
+	ctx     context.Context
+	cfg     IngestConfig
+	shards  []*ingestShard
+	wg      sync.WaitGroup
+	metrics *IngestMetrics // optional, shared across runs
+
+	// inFlight counts tasks enqueued but not yet fully applied; Barrier
+	// short-circuits when it reads zero, so lookups against a quiescent
+	// store don't pay a token round-trip per call.
+	inFlight atomic.Int64
+
+	// life arbitrates channel sends against Close: producers hold it
+	// shared around sends, Close holds it exclusively around closing the
+	// shard channels, so a racing Barrier or Enqueue can never send on a
+	// closed channel.
+	life sync.RWMutex
+
+	mu     sync.Mutex
+	err    error
+	closed bool
+
+	statsMu sync.Mutex // guards per-shard utilization counters
+}
+
+// NewCoordinator starts cfg.Shards shard workers. The context bounds the
+// pipeline's lifetime: cancellation fails the coordinator, unblocks
+// producers stuck in backpressure, and surfaces through Barrier so the
+// run aborts on the executor's existing cancellation path. Close must be
+// called when the run ends. metrics may be nil.
+func NewCoordinator(ctx context.Context, cfg IngestConfig, metrics *IngestMetrics) *Coordinator {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg = cfg.normalized()
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	c := &Coordinator{ctx: ctx, cfg: cfg, metrics: metrics}
+	if metrics != nil {
+		metrics.ensureShards(cfg.Shards)
+	}
+	c.shards = make([]*ingestShard, cfg.Shards)
+	for i := range c.shards {
+		sh := &ingestShard{ch: make(chan ingestTask, cfg.Depth)}
+		c.shards[i] = sh
+		c.wg.Add(1)
+		go c.worker(i, sh)
+	}
+	return c
+}
+
+// Shards returns the worker count.
+func (c *Coordinator) Shards() int { return c.cfg.Shards }
+
+// Depth returns the per-shard queue depth in batches.
+func (c *Coordinator) Depth() int { return c.cfg.Depth }
+
+// Err returns the latched pipeline error, if any.
+func (c *Coordinator) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+func (c *Coordinator) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+}
+
+// worker drains one shard queue. After a failure (or cancellation) it
+// keeps consuming so producers and barriers never deadlock, but drops the
+// work.
+func (c *Coordinator) worker(idx int, sh *ingestShard) {
+	defer c.wg.Done()
+	for t := range sh.ch {
+		if t.barrier != nil {
+			t.barrier.Done()
+			continue
+		}
+		if err := c.ctx.Err(); err != nil {
+			c.fail(fmt.Errorf("lineage: ingest cancelled: %w", err))
+			c.inFlight.Add(-1)
+			continue
+		}
+		if c.Err() != nil {
+			c.inFlight.Add(-1)
+			continue
+		}
+		start := time.Now()
+		err := t.store.ingestBatch(t.pairs, t.ids)
+		elapsed := time.Since(start)
+		t.store.AddWriteTime(elapsed)
+		c.inFlight.Add(-1)
+		c.statsMu.Lock()
+		sh.pairs += int64(len(t.pairs))
+		sh.busyNS += elapsed
+		c.statsMu.Unlock()
+		if c.metrics != nil {
+			c.metrics.recordTask(idx, len(t.pairs), elapsed)
+		}
+		if err != nil {
+			c.fail(err)
+		}
+	}
+}
+
+// shardOf picks the shard for one pair: the partition key is the pair's
+// first output cell, mixed through a Fibonacci hash so spatially adjacent
+// pairs spread across workers.
+func (c *Coordinator) shardOf(rp *RegionPair) int {
+	var cell uint64
+	if len(rp.Out) > 0 {
+		cell = rp.Out[0]
+	}
+	return int((cell * 0x9E3779B97F4A7C15) >> 33 % uint64(len(c.shards)))
+}
+
+// Enqueue hands one batch of pairs to the pipeline for every store in
+// stores, hash-partitioning the pairs across the shard workers. Record
+// ids are reserved here, on the calling thread, so every live record and
+// merged cell entry ends up byte-identical to a serial write regardless
+// of worker scheduling. (On log-structured FileStores the *garbage* left
+// by threshold flushes can still vary with scheduling, so the log's
+// total size is deterministic only for memory-backed stores.) The call
+// blocks when a shard queue is full (bounded-channel backpressure) and
+// fails fast on a latched pipeline error or context cancellation.
+// Ownership of pairs transfers to the pipeline; the caller must not
+// mutate the slice afterwards.
+func (c *Coordinator) Enqueue(stores []*Store, pairs []RegionPair) error {
+	if len(pairs) == 0 || len(stores) == 0 {
+		return nil
+	}
+	if err := c.Err(); err != nil {
+		return err
+	}
+	c.life.RLock()
+	defer c.life.RUnlock()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("lineage: enqueue on closed ingest coordinator")
+	}
+	c.mu.Unlock()
+
+	// Partition once; the per-shard sub-batches are read-only and shared
+	// by every store's tasks — only the pair-id slices are per store.
+	buckets := make([][]int, len(c.shards))
+	for i := range pairs {
+		sh := c.shardOf(&pairs[i])
+		buckets[sh] = append(buckets[sh], i)
+	}
+	subs := make([][]RegionPair, len(c.shards))
+	for sh, idxs := range buckets {
+		if len(idxs) == 0 {
+			continue
+		}
+		sub := make([]RegionPair, len(idxs))
+		for j, i := range idxs {
+			sub[j] = pairs[i]
+		}
+		subs[sh] = sub
+	}
+	var batches int
+	for _, st := range stores {
+		start := time.Now()
+		ids := st.reservePairIDs(len(pairs))
+		for sh, idxs := range buckets {
+			if len(idxs) == 0 {
+				continue
+			}
+			var subIDs []uint64
+			if ids != nil {
+				subIDs = make([]uint64, len(idxs))
+				for j, i := range idxs {
+					subIDs[j] = ids[i]
+				}
+			}
+			task := ingestTask{store: st, pairs: subs[sh], ids: subIDs}
+			c.inFlight.Add(1)
+			select {
+			case c.shards[sh].ch <- task:
+			case <-c.ctx.Done():
+				c.inFlight.Add(-1)
+				err := fmt.Errorf("lineage: ingest cancelled: %w", c.ctx.Err())
+				c.fail(err)
+				return err
+			}
+			batches++
+			if c.metrics != nil {
+				c.metrics.observeDepth(len(c.shards[sh].ch))
+			}
+		}
+		st.AddEnqueueTime(time.Since(start))
+	}
+	if c.metrics != nil {
+		c.metrics.recordEnqueue(batches, len(pairs))
+	}
+	return c.Err()
+}
+
+// Barrier drains the pipeline: it returns once every task enqueued
+// before the call has been fully applied to its store, then reports the
+// latched pipeline error, if any. Lookups racing an unflushed store and
+// the writer's end-of-run Flush both synchronize through this.
+func (c *Coordinator) Barrier() error {
+	// Fast path: nothing enqueued-but-unapplied means there is nothing to
+	// drain. Tasks racing this read arrived after the barrier's point in
+	// time, so skipping the token round-trip is still consistent. This
+	// keeps per-cell read gates (ContainsOut under an attached
+	// coordinator) from paying a full pipeline drain each call.
+	if c.inFlight.Load() == 0 {
+		return c.Err()
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	c.life.RLock()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.life.RUnlock()
+		return c.Err()
+	}
+	c.mu.Unlock()
+	for _, sh := range c.shards {
+		wg.Add(1)
+		select {
+		case sh.ch <- ingestTask{barrier: &wg}:
+		case <-c.ctx.Done():
+			wg.Done()
+			c.life.RUnlock()
+			err := fmt.Errorf("lineage: ingest cancelled: %w", c.ctx.Err())
+			c.fail(err)
+			return err
+		}
+	}
+	c.life.RUnlock()
+	wg.Wait()
+	if c.metrics != nil {
+		c.metrics.recordBarrier(time.Since(start))
+	}
+	return c.Err()
+}
+
+// Close shuts the pipeline down, waiting for the workers to exit. Tasks
+// still queued are processed (or dropped, after a failure) first. Close
+// is idempotent.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return c.Err()
+	}
+	c.closed = true
+	c.mu.Unlock()
+	// Exclude in-flight senders (Enqueue/Barrier) so the close below can
+	// never race a channel send.
+	c.life.Lock()
+	for _, sh := range c.shards {
+		close(sh.ch)
+	}
+	c.life.Unlock()
+	c.wg.Wait()
+	return c.Err()
+}
+
+// ShardLoads returns per-shard (pairs, busy time) — the utilization view
+// the serving layer exposes.
+func (c *Coordinator) ShardLoads() ([]int64, []time.Duration) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	pairs := make([]int64, len(c.shards))
+	busy := make([]time.Duration, len(c.shards))
+	for i, sh := range c.shards {
+		pairs[i] = sh.pairs
+		busy[i] = sh.busyNS
+	}
+	return pairs, busy
+}
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+// IngestMetrics aggregates pipeline counters across every coordinator of
+// an executor — the numbers GET /v1/stats serves: queue pressure, shard
+// utilization, and flush (drain barrier) latency.
+type IngestMetrics struct {
+	mu             sync.Mutex
+	batches        int64
+	pairs          int64
+	queueHighWater int
+	encodeNS       time.Duration
+	barrierNS      time.Duration
+	barriers       int64
+	shardPairs     []int64
+	shardBusyNS    []time.Duration
+}
+
+func (m *IngestMetrics) ensureShards(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.shardPairs) < n {
+		m.shardPairs = append(m.shardPairs, 0)
+		m.shardBusyNS = append(m.shardBusyNS, 0)
+	}
+}
+
+func (m *IngestMetrics) recordEnqueue(batches, pairs int) {
+	m.mu.Lock()
+	m.batches += int64(batches)
+	m.pairs += int64(pairs)
+	m.mu.Unlock()
+}
+
+func (m *IngestMetrics) observeDepth(depth int) {
+	m.mu.Lock()
+	if depth > m.queueHighWater {
+		m.queueHighWater = depth
+	}
+	m.mu.Unlock()
+}
+
+func (m *IngestMetrics) recordTask(shard, pairs int, busy time.Duration) {
+	m.mu.Lock()
+	m.encodeNS += busy
+	if shard < len(m.shardPairs) {
+		m.shardPairs[shard] += int64(pairs)
+		m.shardBusyNS[shard] += busy
+	}
+	m.mu.Unlock()
+}
+
+func (m *IngestMetrics) recordBarrier(d time.Duration) {
+	m.mu.Lock()
+	m.barrierNS += d
+	m.barriers++
+	m.mu.Unlock()
+}
+
+// IngestSnapshot is a point-in-time copy of the pipeline counters.
+type IngestSnapshot struct {
+	Shards         int             // configured shard workers (0 = serial ingest)
+	Depth          int             // per-shard queue depth, in batches
+	Batches        int64           // sub-batches enqueued to shard queues
+	Pairs          int64           // region pairs through the pipeline
+	QueueHighWater int             // deepest shard queue observed, in batches
+	EncodeTime     time.Duration   // summed shard-worker busy time
+	FlushTime      time.Duration   // summed drain-barrier latency
+	Flushes        int64           // drain barriers executed
+	ShardPairs     []int64         // per-shard pairs processed
+	ShardBusy      []time.Duration // per-shard busy time
+}
+
+// Snapshot captures the counters under the given configuration.
+func (m *IngestMetrics) Snapshot(cfg IngestConfig) IngestSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := IngestSnapshot{
+		Batches:        m.batches,
+		Pairs:          m.pairs,
+		QueueHighWater: m.queueHighWater,
+		EncodeTime:     m.encodeNS,
+		FlushTime:      m.barrierNS,
+		Flushes:        m.barriers,
+		ShardPairs:     append([]int64(nil), m.shardPairs...),
+		ShardBusy:      append([]time.Duration(nil), m.shardBusyNS...),
+	}
+	if cfg.Enabled() {
+		cfg = cfg.normalized()
+		snap.Shards = cfg.Shards
+		snap.Depth = cfg.Depth
+	}
+	return snap
+}

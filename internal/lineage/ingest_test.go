@@ -1,0 +1,484 @@
+package lineage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"subzero/internal/bitmap"
+	"subzero/internal/kvstore"
+)
+
+// writeThrough pushes pairs through a Writer (optionally via a sharded
+// coordinator) into the store, mirroring how the executor feeds lineage.
+func writeThrough(t *testing.T, st *Store, strat Strategy, pairs []RegionPair, coord *Coordinator) {
+	t.Helper()
+	var full, pay []*Store
+	if strat.Mode == Full {
+		full = []*Store{st}
+	} else {
+		pay = []*Store{st}
+	}
+	w := NewWriter(tOutSpace, tInSpaces, full, pay, nil)
+	if coord != nil {
+		w.UseIngest(coord)
+	}
+	for i, rp := range toStorePairs(strat, pairs) {
+		var err error
+		if strat.Mode == Full {
+			err = w.LWrite(rp.Out, rp.Ins...)
+		} else {
+			err = w.LWritePayload(rp.Out, rp.Payload)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Force small blocks so the pipeline sees many batches, not one.
+		if i%16 == 15 {
+			if err := w.flushBuffers(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// encodeLegacyStats reproduces the pre-pipeline stats record layout: four
+// varint volumes plus one fixed-width WriteTime.
+func encodeLegacyStats(ss StoreStats) []byte {
+	buf := make([]byte, 0, 40)
+	buf = appendUvarint(buf, uint64(ss.Pairs))
+	buf = appendUvarint(buf, uint64(ss.OutCells))
+	buf = appendUvarint(buf, uint64(ss.InCells))
+	buf = appendUvarint(buf, uint64(ss.PayloadBytes))
+	for i := 0; i < 8; i++ {
+		buf = append(buf, byte(uint64(ss.WriteTime)>>(8*i)))
+	}
+	return buf
+}
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+// corruptFile flips bytes in the middle of a file.
+func corruptFile(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	for i := len(buf) / 2; i < len(buf) && i < len(buf)/2+8; i++ {
+		buf[i] ^= 0xA5
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// Sharded ingest must produce a store that answers every query exactly
+// like a serially written one — and, because pair ids are reserved on the
+// enqueueing thread, one whose size accounting matches byte for byte.
+func TestShardedIngestMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	pairs := randomPairs(rng, 300)
+	for _, strat := range allStoreStrategies() {
+		for _, shards := range []int{2, 4, 7} {
+			t.Run(fmt.Sprintf("%s/shards=%d", strat.ID(), shards), func(t *testing.T) {
+				serial, err := OpenStore(kvstore.NewMem(), strat, tOutSpace, tInSpaces)
+				if err != nil {
+					t.Fatal(err)
+				}
+				writeThrough(t, serial, strat, pairs, nil)
+
+				coord := NewCoordinator(context.Background(), IngestConfig{Shards: shards, Depth: 2}, nil)
+				defer coord.Close()
+				sharded, err := OpenStore(kvstore.NewMem(), strat, tOutSpace, tInSpaces)
+				if err != nil {
+					t.Fatal(err)
+				}
+				writeThrough(t, sharded, strat, pairs, coord)
+
+				if got, want := sharded.NumPairs(), serial.NumPairs(); got != want {
+					t.Fatalf("sharded NumPairs = %d, serial = %d", got, want)
+				}
+				ss, sw := sharded.Stats(), serial.Stats()
+				if ss.OutCells != sw.OutCells || ss.InCells != sw.InCells || ss.PayloadBytes != sw.PayloadBytes {
+					t.Fatalf("volume stats diverge: sharded %+v serial %+v", ss, sw)
+				}
+				if ss.Shards != shards {
+					t.Fatalf("sharded store reports %d shards, want %d", ss.Shards, shards)
+				}
+				if got, want := sharded.SizeBytes(), serial.SizeBytes(); got != want {
+					t.Fatalf("sharded SizeBytes = %d, serial = %d (id assignment nondeterministic?)", got, want)
+				}
+
+				var mapp PayloadFn
+				if strat.Mode == Pay || strat.Mode == Comp {
+					mapp = testMapP
+				}
+				for trial := 0; trial < 10; trial++ {
+					q := randomQuery(rng, tOutSpace, 40)
+					a, b := bitmap.New(tInSpaces[0]), bitmap.New(tInSpaces[0])
+					if err := serial.Backward(q, a, 0, mapp, nil, nil); err != nil {
+						t.Fatal(err)
+					}
+					if err := sharded.Backward(q, b, 0, mapp, nil, nil); err != nil {
+						t.Fatal(err)
+					}
+					if !bitmapsEqual(a, b) {
+						t.Fatalf("trial %d: sharded backward answer differs from serial", trial)
+					}
+					fq := randomQuery(rng, tInSpaces[0], 40)
+					fa, fb := bitmap.New(tOutSpace), bitmap.New(tOutSpace)
+					if err := serial.Forward(fq, fa, 0, mapp, nil); err != nil {
+						t.Fatal(err)
+					}
+					if err := sharded.Forward(fq, fb, 0, mapp, nil); err != nil {
+						t.Fatal(err)
+					}
+					if !bitmapsEqual(fa, fb) {
+						t.Fatalf("trial %d: sharded forward answer differs from serial", trial)
+					}
+				}
+			})
+		}
+	}
+}
+
+// Queries racing an active ingest must see a consistent merged view:
+// everything enqueued before the query, nothing torn. The test streams
+// pairs through a sharded writer while lookups run concurrently, checks
+// every mid-flight answer is a subset of the final answer, and checks the
+// settled store answers byte-identically to a fully flushed serial store.
+func TestQueryRacesIngest(t *testing.T) {
+	for _, strat := range []Strategy{StratFullOne, StratFullMany} {
+		t.Run(strat.ID(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			pairs := randomPairs(rng, 400)
+			serial, err := OpenStore(kvstore.NewMem(), strat, tOutSpace, tInSpaces)
+			if err != nil {
+				t.Fatal(err)
+			}
+			writeThrough(t, serial, strat, pairs, nil)
+			q := randomQuery(rng, tOutSpace, 60)
+			final := bitmap.New(tInSpaces[0])
+			if err := serial.Backward(q, final, 0, nil, nil, nil); err != nil {
+				t.Fatal(err)
+			}
+
+			coord := NewCoordinator(context.Background(), IngestConfig{Shards: 4, Depth: 2}, nil)
+			defer coord.Close()
+			st, err := OpenStore(kvstore.NewMem(), strat, tOutSpace, tInSpaces)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			errCh := make(chan error, 8)
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						dst := bitmap.New(tInSpaces[0])
+						if err := st.Backward(q, dst, 0, nil, nil, nil); err != nil {
+							errCh <- err
+							return
+						}
+						// Mid-flight answers must never contain cells the
+						// finished store does not.
+						ok := true
+						dst.Iterate(func(idx uint64) bool {
+							if !final.Get(idx) {
+								ok = false
+							}
+							return ok
+						})
+						if !ok {
+							errCh <- fmt.Errorf("mid-ingest answer contains cells absent from the final store")
+							return
+						}
+					}
+				}()
+			}
+			writeThrough(t, st, strat, pairs, coord)
+			close(stop)
+			wg.Wait()
+			select {
+			case err := <-errCh:
+				t.Fatal(err)
+			default:
+			}
+
+			// Settled: identical to the serial store.
+			got := bitmap.New(tInSpaces[0])
+			if err := st.Backward(q, got, 0, nil, nil, nil); err != nil {
+				t.Fatal(err)
+			}
+			if !bitmapsEqual(got, final) {
+				t.Fatal("post-ingest answer differs from serial store")
+			}
+		})
+	}
+}
+
+// failingStore errors on the Nth record write, whichever worker gets it.
+type failingStore struct {
+	kvstore.Store
+	writes atomic.Int64
+	failAt int64
+}
+
+var errInjected = errors.New("injected write failure")
+
+func (f *failingStore) Put(key, val []byte) error {
+	if f.writes.Add(1) >= f.failAt {
+		return errInjected
+	}
+	return f.Store.Put(key, val)
+}
+
+func (f *failingStore) PutBatch(kvs []kvstore.KV) error {
+	if f.writes.Add(int64(len(kvs))) >= f.failAt {
+		return errInjected
+	}
+	return kvstore.PutBatch(f.Store, kvs) // falls back to per-key Puts... but counted above
+}
+
+// A shard worker failure must reach the operator through the writer, at
+// the latest at the flush barrier.
+func TestIngestErrorPropagation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	pairs := randomPairs(rng, 200)
+	coord := NewCoordinator(context.Background(), IngestConfig{Shards: 3, Depth: 2}, nil)
+	defer coord.Close()
+	fs := &failingStore{Store: kvstore.NewMem(), failAt: 50}
+	st, err := OpenStore(fs, StratFullOne, tOutSpace, tInSpaces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(tOutSpace, tInSpaces, []*Store{st}, nil, nil)
+	w.UseIngest(coord)
+	var sawErr error
+	for _, rp := range pairs {
+		if err := w.LWrite(rp.Out, rp.Ins...); err != nil {
+			sawErr = err
+			break
+		}
+	}
+	if sawErr == nil {
+		sawErr = w.Flush()
+	}
+	if !errors.Is(sawErr, errInjected) {
+		t.Fatalf("injected shard failure did not propagate, got %v", sawErr)
+	}
+	if !errors.Is(coord.Err(), errInjected) {
+		t.Fatalf("coordinator did not latch the failure: %v", coord.Err())
+	}
+}
+
+// Cancelling the run's context must fail the pipeline with a wrapped
+// ctx.Err(), unblocking producers stuck in backpressure.
+func TestIngestCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pairs := randomPairs(rng, 300)
+	ctx, cancel := context.WithCancel(context.Background())
+	coord := NewCoordinator(ctx, IngestConfig{Shards: 2, Depth: 1}, nil)
+	defer coord.Close()
+	st, err := OpenStore(kvstore.NewMem(), StratFullOne, tOutSpace, tInSpaces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(tOutSpace, tInSpaces, []*Store{st}, nil, nil)
+	w.UseIngest(coord)
+	for _, rp := range pairs[:100] {
+		if err := w.LWrite(rp.Out, rp.Ins...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cancel()
+	var sawErr error
+	for _, rp := range pairs[100:] {
+		if sawErr = w.LWrite(rp.Out, rp.Ins...); sawErr != nil {
+			break
+		}
+	}
+	if sawErr == nil {
+		sawErr = w.Flush()
+	}
+	if !errors.Is(sawErr, context.Canceled) {
+		t.Fatalf("cancellation did not propagate through the writer, got %v", sawErr)
+	}
+}
+
+// Satellite regression: concurrent writers aggregating durations must not
+// under-report — the counters are atomic, so N goroutines adding D each
+// yield exactly N*D.
+func TestAddWriteTimeConcurrentAccounting(t *testing.T) {
+	st, err := OpenStore(kvstore.NewMem(), StratFullOne, tOutSpace, tInSpaces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				st.AddWriteTime(time.Microsecond)
+				st.AddEnqueueTime(2 * time.Microsecond)
+				st.AddFlushTime(3 * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	ss := st.Stats()
+	want := workers * iters * time.Microsecond
+	if ss.WriteTime != want || ss.EnqueueTime != 2*want || ss.FlushTime != 3*want {
+		t.Fatalf("durations under-reported: write=%v enqueue=%v flush=%v want %v/%v/%v",
+			ss.WriteTime, ss.EnqueueTime, ss.FlushTime, want, 2*want, 3*want)
+	}
+}
+
+// Satellite regression: the encoded stats record — and therefore
+// SizeBytes and LineageBytes — must not vary with wall-clock timing. All
+// duration fields are fixed-width.
+func TestStatsEncodingTimingIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var wantLen int
+	for trial := 0; trial < 50; trial++ {
+		st, err := OpenStore(kvstore.NewMem(), StratFullOne, tOutSpace, tInSpaces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.addVolumes(12, 340, 560, 0) // fixed volumes
+		st.setShards(4)
+		st.AddWriteTime(time.Duration(rng.Int63n(int64(time.Hour))))
+		st.AddEnqueueTime(time.Duration(rng.Int63n(int64(time.Hour))))
+		st.AddFlushTime(time.Duration(rng.Int63n(int64(time.Hour))))
+		enc := st.encodeStats()
+		if trial == 0 {
+			wantLen = len(enc)
+		} else if len(enc) != wantLen {
+			t.Fatalf("stats record length varies with timing: %d vs %d", len(enc), wantLen)
+		}
+		// Round-trip through decode preserves every field.
+		st2, err := OpenStore(kvstore.NewMem(), StratFullOne, tOutSpace, tInSpaces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st2.decodeStats(enc)
+		if got, want := st2.Stats(), st.Stats(); got != want {
+			t.Fatalf("stats round-trip = %+v, want %+v", got, want)
+		}
+	}
+}
+
+// Legacy stats records (4 varints + one fixed-width WriteTime) written by
+// pre-pipeline builds must keep decoding.
+func TestStatsDecodeLegacyFormat(t *testing.T) {
+	st, err := OpenStore(kvstore.NewMem(), StratFullOne, tOutSpace, tInSpaces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := encodeLegacyStats(StoreStats{Pairs: 7, OutCells: 70, InCells: 700, PayloadBytes: 3, WriteTime: 12345 * time.Nanosecond})
+	st.decodeStats(legacy)
+	got := st.Stats()
+	want := StoreStats{Pairs: 7, OutCells: 70, InCells: 700, PayloadBytes: 3, WriteTime: 12345 * time.Nanosecond}
+	if got != want {
+		t.Fatalf("legacy stats decode = %+v, want %+v", got, want)
+	}
+}
+
+// A store written and flushed by the pipeline must reopen with its meta
+// (pair counter, stats, indexes) loaded from the atomic blob, and a
+// corrupted meta sidecar must degrade to a rebuild instead of a
+// half-load — pairs stay queryable.
+func TestStoreMetaBlobReopenAndRecovery(t *testing.T) {
+	for _, strat := range []Strategy{StratFullOne, StratFullMany} {
+		t.Run(strat.ID(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(23))
+			pairs := randomPairs(rng, 80)
+			dir := t.TempDir() + "/s.log"
+			fs, err := kvstore.OpenFile(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := OpenStore(fs, strat, tOutSpace, tInSpaces)
+			if err != nil {
+				t.Fatal(err)
+			}
+			writeThrough(t, st, strat, pairs, nil)
+			q := randomQuery(rng, tOutSpace, 50)
+			want := bitmap.New(tInSpaces[0])
+			if err := st.Backward(q, want, 0, nil, nil, nil); err != nil {
+				t.Fatal(err)
+			}
+			wantPairs := st.NumPairs()
+			fs.Close()
+
+			// Clean reopen: everything restored from the blob.
+			fs, err = kvstore.OpenFile(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err = OpenStore(fs, strat, tOutSpace, tInSpaces)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.NumPairs() != wantPairs {
+				t.Fatalf("reopened NumPairs = %d, want %d", st.NumPairs(), wantPairs)
+			}
+			got := bitmap.New(tInSpaces[0])
+			if err := st.Backward(q, got, 0, nil, nil, nil); err != nil {
+				t.Fatal(err)
+			}
+			if !bitmapsEqual(got, want) {
+				t.Fatal("reopened store answers differ")
+			}
+			fs.Close()
+
+			// Corrupt the sidecar: the store must rebuild from records and
+			// still answer correctly (stats are sacrificed, pairs are not).
+			if err := corruptFile(dir + ".meta"); err != nil {
+				t.Fatal(err)
+			}
+			fs, err = kvstore.OpenFile(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fs.Close()
+			st, err = OpenStore(fs, strat, tOutSpace, tInSpaces)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got2 := bitmap.New(tInSpaces[0])
+			if err := st.Backward(q, got2, 0, nil, nil, nil); err != nil {
+				t.Fatal(err)
+			}
+			if !bitmapsEqual(got2, want) {
+				t.Fatal("rebuilt store answers differ after meta corruption")
+			}
+			if next := st.nextPair.Load(); next != uint64(wantPairs) {
+				t.Fatalf("rebuilt pair counter = %d, want %d", next, wantPairs)
+			}
+		})
+	}
+}

@@ -97,9 +97,11 @@ func (s *Store) Backward(q, dst *bitmap.Bitmap, inputIdx int, mapp PayloadFn, co
 	if (s.strat.Mode == Pay || s.strat.Mode == Comp) && mapp == nil {
 		return fmt.Errorf("lineage: %s store requires a payload mapping function", s.strat)
 	}
-	if err := s.maybeFlushPending(); err != nil {
+	release, err := s.beginRead()
+	if err != nil {
 		return err
 	}
+	defer release()
 	if s.strat.Orient == ForwardOpt {
 		// Mismatched orientation: fall back to a full scan of records.
 		return s.scanBackward(q, dst, inputIdx, abort)
@@ -330,9 +332,11 @@ func (s *Store) Forward(q, dst *bitmap.Bitmap, inputIdx int, mapp PayloadFn, abo
 	if (s.strat.Mode == Pay || s.strat.Mode == Comp) && mapp == nil {
 		return fmt.Errorf("lineage: %s store requires a payload mapping function", s.strat)
 	}
-	if err := s.maybeFlushPending(); err != nil {
+	release, err := s.beginRead()
+	if err != nil {
 		return err
 	}
+	defer release()
 	switch {
 	case s.strat.Mode == Pay || s.strat.Mode == Comp:
 		if s.strat.Enc == One {
@@ -433,9 +437,11 @@ func (s *Store) forwardPayManyScan(q, dst *bitmap.Bitmap, inputIdx int, mapp Pay
 // (payload) pair. The query executor uses it to decide which output cells
 // of a composite operator keep their default mapping on the forward path.
 func (s *Store) ContainsOut(cell uint64) (bool, error) {
-	if err := s.maybeFlushPending(); err != nil {
+	release, err := s.beginRead()
+	if err != nil {
 		return false, err
 	}
+	defer release()
 	if s.strat.Enc == One {
 		_, ok, err := s.kv.Get(cellKey(0, cell))
 		return ok, err

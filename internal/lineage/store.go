@@ -1,9 +1,11 @@
 package lineage
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,12 +22,51 @@ var ErrAborted = errors.New("lineage: lookup aborted by query-time optimizer")
 
 // StoreStats aggregates what the statistics collector records about one
 // store's write path; the optimizer's cost model is calibrated from these.
+//
+// With the sharded ingest pipeline the write path has two sides, and the
+// stats keep them apart: WriteTime is the total encode+commit work summed
+// across every writer (one thread when serial, N shard workers when
+// sharded), while EnqueueTime and FlushTime are the only parts the
+// operator's own thread pays under async ingest — the handoff (including
+// backpressure stalls) and the end-of-run drain barrier.
 type StoreStats struct {
 	Pairs        int
 	OutCells     int64
 	InCells      int64
 	PayloadBytes int64
-	WriteTime    time.Duration
+	WriteTime    time.Duration // encode+commit work, summed across shard workers
+	EnqueueTime  time.Duration // operator-thread handoff incl. backpressure stalls
+	FlushTime    time.Duration // operator-thread drain barrier + final flush
+	Shards       int           // shard workers that built the store (0 = serial)
+}
+
+// OperatorTime returns the write-path time spent on the operator's own
+// thread — the capture overhead the paper's optimizer trades against
+// query speed. Serial stores pay the full WriteTime inline; sharded
+// stores pay only the enqueue and drain costs.
+func (ss StoreStats) OperatorTime() time.Duration {
+	if ss.Shards > 0 {
+		return ss.EnqueueTime + ss.FlushTime
+	}
+	return ss.WriteTime
+}
+
+// CriticalWriteTime estimates the wall-clock the strategy adds to a
+// workflow run: for sharded ingest the encode work spreads across Shards
+// workers while the operator thread pays enqueue + drain, so the critical
+// path is the larger of the two; serial stores pay WriteTime inline. The
+// strategy optimizer costs runtime overhead from this instead of the raw
+// serial WriteTime.
+func (ss StoreStats) CriticalWriteTime() time.Duration {
+	if ss.Shards > 1 {
+		perShard := ss.WriteTime / time.Duration(ss.Shards)
+		op := ss.EnqueueTime + ss.FlushTime
+		if perShard > op {
+			return perShard
+		}
+		return op
+	}
+	return ss.WriteTime
 }
 
 // Store holds the materialized region lineage of a single operator
@@ -34,12 +75,17 @@ type StoreStats struct {
 // hashtable according to the strategy's encoding and orientation, and
 // serves backward/forward lookups over them.
 //
-// Writes (WritePairs, Flush) are serialized by the workflow executor and
-// must not overlap with lookups. Lookups (Backward, Forward, ContainsOut)
-// are safe to run concurrently with each other once the run has completed:
-// mu guards the pending write buffers and the record cache, the backing
-// kvstore synchronizes internally, and the spatial indexes are read-only
-// after the final flush.
+// The store is split into an immutable read side and a write side. The
+// read side (Backward, Forward, ContainsOut) is safe for concurrent use.
+// The write side has two modes: the synchronous path (WritePairs, called
+// from one goroutine, never overlapping lookups — the pre-pipeline
+// contract) and the sharded ingest path, where a Coordinator's shard
+// workers call ingestBatch concurrently with each other AND with lookups.
+// For that mode liveMu arbitrates: workers hold it shared for the span of
+// a batch, and a lookup racing the ingest drains the coordinator
+// (Coordinator.Barrier) and then holds liveMu exclusively, so it observes
+// a consistent merged view — every pair enqueued before the lookup
+// started, and no torn batch.
 type Store struct {
 	strat    Strategy
 	outSpace *grid.Space
@@ -48,13 +94,19 @@ type Store struct {
 
 	// trees index the key side of Many encodings: slot 0 holds output
 	// bounding boxes for backward-optimized stores; slot i holds input-i
-	// bounding boxes for forward-optimized stores.
+	// bounding boxes for forward-optimized stores. idxMu guards inserts
+	// and the dirty flag against concurrent shard workers; reads are
+	// lock-free once the write side is quiescent (see liveMu).
 	trees    []*rtree.Tree
-	nextPair uint64
+	idxMu    sync.Mutex
 	dirtyIdx bool
 
-	// mu guards the pending buffers, the record cache, and stats against
-	// concurrent lookups.
+	// nextPair allocates record ids; the ingest coordinator reserves id
+	// ranges from it on the enqueueing thread so ids stay dense and
+	// deterministic regardless of shard scheduling.
+	nextPair atomic.Uint64
+
+	// mu guards the pending buffers and the record cache.
 	mu sync.Mutex
 
 	// Pending per-cell entries for One encodings, merged into the
@@ -72,7 +124,21 @@ type Store struct {
 
 	recCache map[uint64]*record
 
-	stats StoreStats
+	// statsMu guards the volume counters; the duration counters are
+	// atomics so concurrent shard workers aggregate without a lock and
+	// without under-reporting (a read-modify-write race would drop
+	// increments).
+	statsMu   sync.Mutex
+	stats     StoreStats // volumes + Shards; durations live in the atomics
+	writeNS   atomic.Int64
+	enqueueNS atomic.Int64
+	flushNS   atomic.Int64
+
+	// ingest is the coordinator currently feeding this store, if any;
+	// lookups use it to barrier racing writes. liveMu is the shared/
+	// exclusive gate described above.
+	ingest atomic.Pointer[Coordinator]
+	liveMu sync.RWMutex
 }
 
 const (
@@ -136,7 +202,37 @@ func (s *Store) slotSpace(slot int) *grid.Space {
 	return s.outSpace
 }
 
+// loadMeta restores the pair counter, stats, and spatial indexes. The
+// atomically committed meta blob (kvstore.MetaCommitter) is preferred;
+// stores written by earlier builds keep their metadata under in-log '!'
+// keys and load through the legacy path. If neither source yields
+// metadata but the hashtable holds pair records — a crash threw away the
+// sidecar, or it was corrupted — the store rebuilds what it can from the
+// records themselves rather than half-loading.
 func (s *Store) loadMeta() error {
+	if mc, ok := s.kv.(kvstore.MetaCommitter); ok {
+		blob, ok2, err := mc.LoadMeta()
+		if err != nil {
+			return err
+		}
+		if ok2 {
+			if err := s.decodeMetaBlob(blob); err == nil {
+				return nil
+			}
+			// Undecodable blob: treat as absent and fall through.
+		}
+	}
+	if err := s.loadLegacyMeta(); err != nil {
+		return err
+	}
+	if s.nextPair.Load() == 0 && s.kv.Len() > 0 {
+		return s.rebuildMeta()
+	}
+	return nil
+}
+
+// loadLegacyMeta reads the pre-sidecar metadata keys from the hashtable.
+func (s *Store) loadLegacyMeta() error {
 	val, ok, err := s.kv.Get(metaKey("next"))
 	if err != nil {
 		return err
@@ -146,7 +242,7 @@ func (s *Store) loadMeta() error {
 		if n <= 0 {
 			return fmt.Errorf("lineage: corrupt store meta")
 		}
-		s.nextPair = id
+		s.nextPair.Store(id)
 		// Restore stats snapshot if present.
 		if sv, ok2, _ := s.kv.Get(metaKey("stats")); ok2 {
 			s.decodeStats(sv)
@@ -168,40 +264,333 @@ func (s *Store) loadMeta() error {
 	return nil
 }
 
+// metaBlobVersion frames the single metadata blob committed through
+// kvstore.MetaCommitter: version byte, pair counter, stats, and one
+// serialized R-tree per slot, so a flush is all-or-nothing on disk.
+const metaBlobVersion = 1
+
+func (s *Store) encodeMetaBlob() []byte {
+	buf := []byte{metaBlobVersion}
+	buf = binary.AppendUvarint(buf, s.nextPair.Load())
+	stats := s.encodeStats()
+	buf = binary.AppendUvarint(buf, uint64(len(stats)))
+	buf = append(buf, stats...)
+	buf = binary.AppendUvarint(buf, uint64(len(s.trees)))
+	for _, tr := range s.trees {
+		tv := tr.Encode()
+		buf = binary.AppendUvarint(buf, uint64(len(tv)))
+		buf = append(buf, tv...)
+	}
+	return buf
+}
+
+func (s *Store) decodeMetaBlob(blob []byte) error {
+	if len(blob) == 0 || blob[0] != metaBlobVersion {
+		return fmt.Errorf("lineage: unknown meta blob version")
+	}
+	rest := blob[1:]
+	next, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return fmt.Errorf("lineage: meta blob pair counter")
+	}
+	rest = rest[n:]
+	slen, n := binary.Uvarint(rest)
+	if n <= 0 || slen > uint64(len(rest)-n) {
+		return fmt.Errorf("lineage: meta blob stats")
+	}
+	rest = rest[n:]
+	statsBlob := rest[:slen]
+	rest = rest[slen:]
+	nTrees, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return fmt.Errorf("lineage: meta blob tree count")
+	}
+	rest = rest[n:]
+	trees := make([]*rtree.Tree, 0, nTrees)
+	for i := uint64(0); i < nTrees; i++ {
+		tlen, n := binary.Uvarint(rest)
+		if n <= 0 || tlen > uint64(len(rest)-n) {
+			return fmt.Errorf("lineage: meta blob tree %d", i)
+		}
+		rest = rest[n:]
+		tr, err := rtree.Decode(rest[:tlen])
+		if err != nil {
+			return fmt.Errorf("lineage: meta blob tree %d: %w", i, err)
+		}
+		trees = append(trees, tr)
+		rest = rest[tlen:]
+	}
+	s.nextPair.Store(next)
+	s.decodeStats(statsBlob)
+	for i := range s.trees {
+		if i < len(trees) {
+			s.trees[i] = trees[i]
+		}
+	}
+	return nil
+}
+
+// rebuildMeta reconstructs the pair counter and (for Many encodings) the
+// spatial indexes by scanning the surviving pair records — the recovery
+// path for a store whose meta was lost to a crash or corruption. Lineage
+// is a recoverable cache, so best effort is enough: statistics are gone,
+// but every surviving pair stays queryable.
+func (s *Store) rebuildMeta() error {
+	var maxID uint64
+	var any bool
+	err := s.scanRecords(func(id uint64, rec *record) (bool, error) {
+		any = true
+		if id > maxID {
+			maxID = id
+		}
+		if s.strat.Enc == Many {
+			if s.strat.Orient == BackwardOpt {
+				if bb, ok := grid.BoundingBox(s.outSpace, rec.outs.cells(nil)); ok {
+					if err := s.trees[0].Insert(rtree.Item{Rect: bb, ID: id}); err != nil {
+						return false, err
+					}
+				}
+			} else {
+				for i := range rec.ins {
+					if bb, ok := grid.BoundingBox(s.inSpaces[i], rec.ins[i].cells(nil)); ok {
+						if err := s.trees[i].Insert(rtree.Item{Rect: bb, ID: id}); err != nil {
+							return false, err
+						}
+					}
+				}
+			}
+		}
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+	if any {
+		s.nextPair.Store(maxID + 1)
+		if s.strat.Enc == Many {
+			s.dirtyIdx = true
+		}
+	}
+	return nil
+}
+
 // Strategy returns the store's strategy.
 func (s *Store) Strategy() Strategy { return s.strat }
 
-// Stats returns the accumulated write statistics.
+// Stats returns the accumulated write statistics, merging the atomic
+// duration counters into the volume snapshot.
 func (s *Store) Stats() StoreStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	s.statsMu.Lock()
+	st := s.stats
+	s.statsMu.Unlock()
+	st.WriteTime = time.Duration(s.writeNS.Load())
+	st.EnqueueTime = time.Duration(s.enqueueNS.Load())
+	st.FlushTime = time.Duration(s.flushNS.Load())
+	return st
 }
 
 // AddWriteTime accrues time spent by the runtime serializing into this
-// store; it is part of the strategy's runtime overhead.
-func (s *Store) AddWriteTime(d time.Duration) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.WriteTime += d
+// store; it is part of the strategy's runtime overhead. The counter is
+// atomic so concurrent shard workers aggregate their per-shard durations
+// without under-reporting.
+func (s *Store) AddWriteTime(d time.Duration) { s.writeNS.Add(int64(d)) }
+
+// AddEnqueueTime accrues operator-thread handoff time (including
+// backpressure stalls) under sharded ingest.
+func (s *Store) AddEnqueueTime(d time.Duration) { s.enqueueNS.Add(int64(d)) }
+
+// AddFlushTime accrues operator-thread drain/flush time.
+func (s *Store) AddFlushTime(d time.Duration) { s.flushNS.Add(int64(d)) }
+
+// addVolumes accumulates the pair/cell volume counters for one batch.
+func (s *Store) addVolumes(pairs int, outCells, inCells, payloadBytes int64) {
+	s.statsMu.Lock()
+	s.stats.Pairs += pairs
+	s.stats.OutCells += outCells
+	s.stats.InCells += inCells
+	s.stats.PayloadBytes += payloadBytes
+	s.statsMu.Unlock()
+}
+
+// setShards records how many ingest shard workers feed this store.
+func (s *Store) setShards(n int) {
+	s.statsMu.Lock()
+	s.stats.Shards = n
+	s.statsMu.Unlock()
 }
 
 // NumPairs returns the number of region pairs written.
 func (s *Store) NumPairs() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
 	return s.stats.Pairs
 }
 
-// WritePairs encodes a batch of region pairs into the store. Pairs must
-// already be normalized and validated (the writer does both).
+// reserveIDs allocates n consecutive pair ids. The ingest coordinator
+// calls it on the enqueueing thread, so id assignment is deterministic in
+// enqueue order no matter how shard workers are scheduled — a store built
+// with any shard count holds byte-identical records.
+func (s *Store) reserveIDs(n int) uint64 {
+	return s.nextPair.Add(uint64(n)) - uint64(n)
+}
+
+// reservePairIDs reserves one id per pair for record-storing encodings,
+// or nil when the encoding stores no records (PayOne). The synchronous
+// write path and the ingest coordinator share it so id assignment can
+// never diverge between them.
+func (s *Store) reservePairIDs(n int) []uint64 {
+	if !s.storesRecords() {
+		return nil
+	}
+	base := s.reserveIDs(n)
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = base + uint64(i)
+	}
+	return ids
+}
+
+// storesRecords reports whether the encoding writes per-pair records (and
+// therefore needs pair ids). PayOne duplicates payloads into cell entries
+// instead.
+func (s *Store) storesRecords() bool {
+	return !(s.strat.Enc == One && (s.strat.Mode == Pay || s.strat.Mode == Comp))
+}
+
+// checkPairKind validates that the pair carries what the strategy stores.
+func (s *Store) checkPairKind(rp *RegionPair) error {
+	wantPayload := s.strat.Mode == Pay || s.strat.Mode == Comp
+	if rp.IsPayload() != wantPayload {
+		return fmt.Errorf("lineage: %s store got %s pair", s.strat,
+			map[bool]string{true: "payload", false: "full"}[rp.IsPayload()])
+	}
+	return nil
+}
+
+// batchVolumes sums the volume counters of a batch.
+func batchVolumes(pairs []RegionPair) (outCells, inCells, payloadBytes int64) {
+	for i := range pairs {
+		rp := &pairs[i]
+		outCells += int64(len(rp.Out))
+		for _, in := range rp.Ins {
+			inCells += int64(len(in))
+		}
+		payloadBytes += int64(len(rp.Payload))
+	}
+	return
+}
+
+// WritePairs encodes a batch of region pairs into the store on the
+// calling thread — the synchronous write path. Pairs must already be
+// normalized and validated (the writer does both). Record values are
+// group-committed through one kvstore batch per call.
 func (s *Store) WritePairs(pairs []RegionPair) error {
+	for i := range pairs {
+		if err := s.checkPairKind(&pairs[i]); err != nil {
+			return err
+		}
+	}
+	return s.ingestBatch(pairs, s.reservePairIDs(len(pairs)))
+}
+
+// ingestBatch applies one batch of pairs: encode records, group-commit
+// them, index them, and buffer the per-cell entries. It is the shared
+// write path of WritePairs (synchronous) and the coordinator's shard
+// workers (concurrent); liveMu is held shared so a racing lookup can
+// exclude in-flight batches wholesale.
+func (s *Store) ingestBatch(pairs []RegionPair, ids []uint64) error {
+	s.liveMu.RLock()
+	defer s.liveMu.RUnlock()
+
+	// Encode and group-commit the pair records first: per-cell entries
+	// and index items must never reference a record the hashtable does
+	// not hold yet.
+	if ids != nil {
+		recs := make([]kvstore.KV, len(pairs))
+		for i := range pairs {
+			recs[i] = kvstore.KV{Key: pairKey(ids[i]), Val: encodeRecord(&pairs[i])}
+		}
+		if err := kvstore.PutBatch(s.kv, recs); err != nil {
+			return err
+		}
+	}
+
+	switch {
+	case s.strat.Enc == Many:
+		if err := s.indexBatch(pairs, ids); err != nil {
+			return err
+		}
+	default:
+		if err := s.bufferCellEntries(pairs, ids); err != nil {
+			return err
+		}
+	}
+	out, in, pay := batchVolumes(pairs)
+	s.addVolumes(len(pairs), out, in, pay)
+	return nil
+}
+
+// indexBatch inserts one R-tree item per (pair, slot) for Many encodings.
+// Bounding boxes are computed outside the index lock so concurrent shard
+// workers only serialize on the tree inserts themselves.
+func (s *Store) indexBatch(pairs []RegionPair, ids []uint64) error {
+	type slotItem struct {
+		slot int
+		item rtree.Item
+	}
+	items := make([]slotItem, 0, len(pairs))
+	for i := range pairs {
+		rp := &pairs[i]
+		if s.strat.Orient == BackwardOpt {
+			if bb, ok := grid.BoundingBox(s.outSpace, rp.Out); ok {
+				items = append(items, slotItem{0, rtree.Item{Rect: bb, ID: ids[i]}})
+			}
+		} else {
+			for j, in := range rp.Ins {
+				if bb, ok := grid.BoundingBox(s.inSpaces[j], in); ok {
+					items = append(items, slotItem{j, rtree.Item{Rect: bb, ID: ids[i]}})
+				}
+			}
+		}
+	}
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	for _, it := range items {
+		if err := s.trees[it.slot].Insert(it.item); err != nil {
+			return err
+		}
+	}
+	s.dirtyIdx = true
+	return nil
+}
+
+// bufferCellEntries merges one batch's per-cell references (FullOne ids,
+// PayOne payload duplicates) into the pending buffers under one lock
+// acquisition, flushing to the hashtable when the threshold is crossed.
+func (s *Store) bufferCellEntries(pairs []RegionPair, ids []uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i := range pairs {
-		if err := s.writePair(&pairs[i]); err != nil {
-			s.pending.Store(int64(s.pendingCount))
-			return err
+		rp := &pairs[i]
+		switch {
+		case s.pendingPay != nil:
+			// PayOne: duplicate the payload under every output cell.
+			for _, c := range rp.Out {
+				s.pendingPay[c] = append(s.pendingPay[c], rp.Payload)
+				s.pendingCount++
+			}
+		case s.strat.Orient == BackwardOpt:
+			for _, c := range rp.Out {
+				s.pendingIDs[0][c] = append(s.pendingIDs[0][c], ids[i])
+				s.pendingCount++
+			}
+		default:
+			for j, in := range rp.Ins {
+				for _, c := range in {
+					s.pendingIDs[j][c] = append(s.pendingIDs[j][c], ids[i])
+					s.pendingCount++
+				}
+			}
 		}
 	}
 	s.pending.Store(int64(s.pendingCount))
@@ -209,75 +598,6 @@ func (s *Store) WritePairs(pairs []RegionPair) error {
 		return s.flushPendingLocked()
 	}
 	return nil
-}
-
-func (s *Store) writePair(rp *RegionPair) error {
-	wantPayload := s.strat.Mode == Pay || s.strat.Mode == Comp
-	if rp.IsPayload() != wantPayload {
-		return fmt.Errorf("lineage: %s store got %s pair", s.strat,
-			map[bool]string{true: "payload", false: "full"}[rp.IsPayload()])
-	}
-	s.stats.Pairs++
-	s.stats.OutCells += int64(len(rp.Out))
-	for _, in := range rp.Ins {
-		s.stats.InCells += int64(len(in))
-	}
-	s.stats.PayloadBytes += int64(len(rp.Payload))
-
-	switch {
-	case s.strat.Enc == One && wantPayload:
-		// PayOne: duplicate the payload under every output cell.
-		for _, c := range rp.Out {
-			s.pendingPay[c] = append(s.pendingPay[c], rp.Payload)
-			s.pendingCount++
-		}
-		return nil
-	case s.strat.Enc == One:
-		// FullOne: shared pair record + per-cell references.
-		id := s.nextPair
-		s.nextPair++
-		if err := s.kv.Put(pairKey(id), encodeRecord(rp)); err != nil {
-			return err
-		}
-		if s.strat.Orient == BackwardOpt {
-			for _, c := range rp.Out {
-				s.pendingIDs[0][c] = append(s.pendingIDs[0][c], id)
-				s.pendingCount++
-			}
-		} else {
-			for i, in := range rp.Ins {
-				for _, c := range in {
-					s.pendingIDs[i][c] = append(s.pendingIDs[i][c], id)
-					s.pendingCount++
-				}
-			}
-		}
-		return nil
-	default:
-		// Many encodings: one record per pair + R-tree entries.
-		id := s.nextPair
-		s.nextPair++
-		if err := s.kv.Put(pairKey(id), encodeRecord(rp)); err != nil {
-			return err
-		}
-		if s.strat.Orient == BackwardOpt {
-			if bb, ok := grid.BoundingBox(s.outSpace, rp.Out); ok {
-				if err := s.trees[0].Insert(rtree.Item{Rect: bb, ID: id}); err != nil {
-					return err
-				}
-			}
-		} else {
-			for i, in := range rp.Ins {
-				if bb, ok := grid.BoundingBox(s.inSpaces[i], in); ok {
-					if err := s.trees[i].Insert(rtree.Item{Rect: bb, ID: id}); err != nil {
-						return err
-					}
-				}
-			}
-		}
-		s.dirtyIdx = true
-		return nil
-	}
 }
 
 // flushPending merges buffered per-cell entries into the hashtable under
@@ -289,10 +609,46 @@ func (s *Store) flushPending() error {
 	return s.flushPendingLocked()
 }
 
-// maybeFlushPending is the lookup-path gate: a lock-free check of the
+// beginRead is the lookup-path gate. The fast path — no ingest
+// coordinator attached, nothing pending — is a single atomic load. When a
+// coordinator is feeding the store, the lookup drains it (so every pair
+// enqueued before the lookup is fully applied) and then holds the write
+// gate exclusively, so batches enqueued after the drain cannot tear the
+// view mid-lookup. The returned release must be called when the lookup
+// finishes.
+func (s *Store) beginRead() (release func(), err error) {
+	if c := s.ingest.Load(); c != nil {
+		if err := c.Barrier(); err != nil {
+			return nil, err
+		}
+		s.liveMu.Lock()
+		if err := s.flushPendingIfAny(); err != nil {
+			s.liveMu.Unlock()
+			return nil, err
+		}
+		return s.liveMu.Unlock, nil
+	}
+	if err := s.maybeFlushPending(); err != nil {
+		return nil, err
+	}
+	return func() {}, nil
+}
+
+// attachIngest marks the store as being fed by a coordinator; lookups
+// barrier against it until detachIngest.
+func (s *Store) attachIngest(c *Coordinator) {
+	s.ingest.Store(c)
+	s.setShards(c.Shards())
+}
+
+// detachIngest returns the store to the quiescent read contract.
+func (s *Store) detachIngest() { s.ingest.Store(nil) }
+
+// maybeFlushPending is the quiescent-store gate: a lock-free check of the
 // atomic pending counter, falling through to the locked flush only when
-// buffered writes actually exist. Writes never overlap lookups (see the
-// Store contract), so a zero reading is stable for the whole lookup.
+// buffered writes actually exist. Writes never overlap lookups in this
+// mode (see the Store contract), so a zero reading is stable for the
+// whole lookup.
 func (s *Store) maybeFlushPending() error {
 	if s.pending.Load() == 0 {
 		return nil
@@ -300,31 +656,46 @@ func (s *Store) maybeFlushPending() error {
 	return s.flushPending()
 }
 
+// flushPendingIfAny is maybeFlushPending for callers already holding the
+// write gate.
+func (s *Store) flushPendingIfAny() error {
+	if s.pending.Load() == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushPendingLocked()
+}
+
 // flushPendingLocked merges buffered per-cell entries into the hashtable.
-// Reads of existing entries are batched before writes so the file store's
-// write buffer is drained once, not per key. Callers hold s.mu.
+// Existing entries are read through one GetBatch pass and the merged
+// entries written back through one PutBatch group commit, so the backing
+// store is locked twice per flush rather than twice per key. Merged id
+// lists are sorted so the stored bytes are deterministic regardless of
+// which shard worker buffered which pair. Callers hold s.mu.
 func (s *Store) flushPendingLocked() error {
 	if s.pendingCount == 0 {
 		return nil
 	}
 	if s.pendingPay != nil {
-		merged := make(map[uint64][][]byte, len(s.pendingPay))
-		for c, payloads := range s.pendingPay {
-			if old, ok, err := s.kv.Get(cellKey(0, c)); err != nil {
-				return err
-			} else if ok {
+		if err := flushCellMap(s.kv, 0, s.pendingPay,
+			func(old []byte, payloads [][]byte) ([][]byte, error) {
 				existing, err := decodePayloadList(old)
 				if err != nil {
-					return err
+					return nil, err
 				}
-				payloads = append(existing, payloads...)
-			}
-			merged[c] = payloads
-		}
-		for c, payloads := range merged {
-			if err := s.kv.Put(cellKey(0, c), encodePayloadList(payloads)); err != nil {
-				return err
-			}
+				return append(existing, payloads...), nil
+			},
+			func(payloads [][]byte) []byte {
+				// Payload lists are sets to the query path; sort them so
+				// the stored bytes don't depend on shard scheduling.
+				sort.SliceStable(payloads, func(i, j int) bool {
+					return bytes.Compare(payloads[i], payloads[j]) < 0
+				})
+				return encodePayloadList(payloads)
+			},
+		); err != nil {
+			return err
 		}
 		s.pendingPay = make(map[uint64][][]byte)
 	}
@@ -332,23 +703,20 @@ func (s *Store) flushPendingLocked() error {
 		if len(m) == 0 {
 			continue
 		}
-		merged := make(map[uint64][]uint64, len(m))
-		for c, ids := range m {
-			if old, ok, err := s.kv.Get(cellKey(slot, c)); err != nil {
-				return err
-			} else if ok {
+		if err := flushCellMap(s.kv, slot, m,
+			func(old []byte, ids []uint64) ([]uint64, error) {
 				existing, err := decodeIDList(old)
 				if err != nil {
-					return err
+					return nil, err
 				}
-				ids = append(existing, ids...)
-			}
-			merged[c] = ids
-		}
-		for c, ids := range merged {
-			if err := s.kv.Put(cellKey(slot, c), encodeIDList(ids)); err != nil {
-				return err
-			}
+				return append(existing, ids...), nil
+			},
+			func(ids []uint64) []byte {
+				sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+				return encodeIDList(ids)
+			},
+		); err != nil {
+			return err
 		}
 		s.pendingIDs[slot] = make(map[uint64][]uint64)
 	}
@@ -357,13 +725,67 @@ func (s *Store) flushPendingLocked() error {
 	return nil
 }
 
+// flushCellMap merges one slot's pending per-cell values into the
+// hashtable: one batched read pass over the existing entries, one group-
+// commit write pass for the merged values.
+func flushCellMap[V any](kv kvstore.Store, slot int, pend map[uint64]V,
+	merge func(old []byte, fresh V) (V, error), encode func(V) []byte) error {
+	cells := make([]uint64, 0, len(pend))
+	for c := range pend {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i] < cells[j] })
+	keys := make([][]byte, len(cells))
+	for i, c := range cells {
+		keys[i] = cellKey(slot, c)
+	}
+	var mergeErr error
+	batch := make([]kvstore.KV, len(cells))
+	if err := kvstore.GetBatch(kv, keys, func(i int, val []byte, ok bool) bool {
+		v := pend[cells[i]]
+		if ok {
+			if v, mergeErr = merge(val, v); mergeErr != nil {
+				return false
+			}
+		}
+		batch[i] = kvstore.KV{Key: keys[i], Val: encode(v)}
+		return true
+	}); err != nil {
+		return err
+	}
+	if mergeErr != nil {
+		return mergeErr
+	}
+	return kvstore.PutBatch(kv, batch)
+}
+
 // Flush persists pending entries, spatial indexes, and metadata, then
-// syncs the hashtable. SizeBytes is exact after Flush.
+// syncs the hashtable. When the backing store supports atomic meta
+// commits the pair counter, stats, and serialized indexes go down as one
+// all-or-nothing blob after the data sync, so a crash mid-flush leaves
+// either the previous consistent metadata or the new one — never a store
+// that half-loads. SizeBytes is exact after Flush.
 func (s *Store) Flush() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err := s.flushPendingLocked(); err != nil {
+		s.mu.Unlock()
 		return err
+	}
+	s.mu.Unlock()
+
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	if mc, ok := s.kv.(kvstore.MetaCommitter); ok {
+		// Data first, then the meta blob: metadata must never describe
+		// records the log has not durably absorbed.
+		if err := s.kv.Sync(); err != nil {
+			return err
+		}
+		if err := mc.CommitMeta(s.encodeMetaBlob()); err != nil {
+			return err
+		}
+		s.dirtyIdx = false
+		return nil
 	}
 	if s.dirtyIdx {
 		for i, tr := range s.trees {
@@ -373,7 +795,7 @@ func (s *Store) Flush() error {
 		}
 		s.dirtyIdx = false
 	}
-	if err := s.kv.Put(metaKey("next"), binary.AppendUvarint(nil, s.nextPair)); err != nil {
+	if err := s.kv.Put(metaKey("next"), binary.AppendUvarint(nil, s.nextPair.Load())); err != nil {
 		return err
 	}
 	if err := s.kv.Put(metaKey("stats"), s.encodeStats()); err != nil {
@@ -383,14 +805,20 @@ func (s *Store) Flush() error {
 }
 
 func (s *Store) encodeStats() []byte {
-	buf := binary.AppendUvarint(nil, uint64(s.stats.Pairs))
-	buf = binary.AppendUvarint(buf, uint64(s.stats.OutCells))
-	buf = binary.AppendUvarint(buf, uint64(s.stats.InCells))
-	buf = binary.AppendUvarint(buf, uint64(s.stats.PayloadBytes))
-	// WriteTime is fixed-width: a varint here would make the record's
+	st := s.Stats()
+	buf := binary.AppendUvarint(nil, uint64(st.Pairs))
+	buf = binary.AppendUvarint(buf, uint64(st.OutCells))
+	buf = binary.AppendUvarint(buf, uint64(st.InCells))
+	buf = binary.AppendUvarint(buf, uint64(st.PayloadBytes))
+	// Durations are fixed-width: a varint here would make the record's
 	// size — and thus SizeBytes — depend on wall-clock timing, breaking
-	// the determinism the benchmarks and their tests rely on.
-	return binary.LittleEndian.AppendUint64(buf, uint64(s.stats.WriteTime))
+	// the determinism the benchmarks and their tests rely on. The legacy
+	// prefix (4 varints + WriteTime) is preserved so stores written by
+	// earlier builds load unchanged; the ingest extension follows it.
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(st.WriteTime))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(st.EnqueueTime))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(st.FlushTime))
+	return binary.LittleEndian.AppendUint32(buf, uint32(st.Shards))
 }
 
 func (s *Store) decodeStats(val []byte) {
@@ -404,32 +832,46 @@ func (s *Store) decodeStats(val []byte) {
 		vals = append(vals, v)
 		off += n
 	}
-	if len(vals) != 4 || len(val)-off != 8 {
+	rest := len(val) - off
+	if len(vals) != 4 || (rest != 8 && rest != 8+8+8+4) {
 		return
 	}
-	s.stats = StoreStats{
+	st := StoreStats{
 		Pairs:        int(vals[0]),
 		OutCells:     int64(vals[1]),
 		InCells:      int64(vals[2]),
 		PayloadBytes: int64(vals[3]),
 		WriteTime:    time.Duration(binary.LittleEndian.Uint64(val[off:])),
 	}
+	if rest > 8 {
+		st.EnqueueTime = time.Duration(binary.LittleEndian.Uint64(val[off+8:]))
+		st.FlushTime = time.Duration(binary.LittleEndian.Uint64(val[off+16:]))
+		st.Shards = int(binary.LittleEndian.Uint32(val[off+24:]))
+	}
+	s.statsMu.Lock()
+	s.stats = st
+	s.statsMu.Unlock()
+	s.writeNS.Store(int64(st.WriteTime))
+	s.enqueueNS.Store(int64(st.EnqueueTime))
+	s.flushNS.Store(int64(st.FlushTime))
 }
 
 // SizeBytes returns the storage charged to this store: the hashtable size
 // plus an estimate for any not-yet-flushed state.
 func (s *Store) SizeBytes() int64 {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	size := s.kv.SizeBytes()
 	if s.pendingCount > 0 {
 		size += int64(s.pendingCount) * 14
 	}
+	s.mu.Unlock()
+	s.idxMu.Lock()
 	if s.dirtyIdx {
 		for _, tr := range s.trees {
 			size += int64(tr.EncodedLen())
 		}
 	}
+	s.idxMu.Unlock()
 	return size
 }
 

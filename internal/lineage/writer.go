@@ -25,6 +25,11 @@ type Writer struct {
 	payStores  []*Store // strategies consuming payload pairs (Pay, Comp)
 	sink       func(*RegionPair) error
 
+	// coord, when set, routes buffered blocks to the sharded asynchronous
+	// ingest pipeline instead of encoding them inline; the operator thread
+	// then pays only the enqueue cost.
+	coord *Coordinator
+
 	fullBuf   []RegionPair
 	payBuf    []RegionPair
 	bufCells  int
@@ -45,6 +50,24 @@ func NewWriter(outSpace *grid.Space, inSpaces []*grid.Space, fullStores, payStor
 		fullStores: fullStores,
 		payStores:  payStores,
 		sink:       sink,
+	}
+}
+
+// UseIngest switches the writer to the asynchronous ingest pipeline:
+// buffered blocks are handed to the coordinator's shard workers instead
+// of being encoded on the calling thread. Every attached store is marked
+// so lookups racing the ingest barrier against the coordinator first.
+// Call before the first LWrite.
+func (w *Writer) UseIngest(c *Coordinator) {
+	if c == nil || !c.cfg.Enabled() {
+		return
+	}
+	w.coord = c
+	for _, s := range w.fullStores {
+		s.attachIngest(c)
+	}
+	for _, s := range w.payStores {
+		s.attachIngest(c)
 	}
 }
 
@@ -113,6 +136,24 @@ func (w *Writer) LWritePayload(out []uint64, payload []byte) error {
 }
 
 func (w *Writer) flushBuffers() error {
+	if w.coord != nil {
+		// Asynchronous path: ownership of the buffered blocks transfers
+		// to the pipeline, so fresh buffers grow on the next LWrite.
+		if len(w.fullBuf) > 0 {
+			if err := w.coord.Enqueue(w.fullStores, w.fullBuf); err != nil {
+				return err
+			}
+			w.fullBuf = nil
+		}
+		if len(w.payBuf) > 0 {
+			if err := w.coord.Enqueue(w.payStores, w.payBuf); err != nil {
+				return err
+			}
+			w.payBuf = nil
+		}
+		w.bufCells = 0
+		return nil
+	}
 	if len(w.fullBuf) > 0 {
 		for _, s := range w.fullStores {
 			start := time.Now()
@@ -138,20 +179,62 @@ func (w *Writer) flushBuffers() error {
 }
 
 // Flush drains buffered pairs into the stores and persists their indexes.
-// The executor calls it once when the operator's run completes.
+// Under asynchronous ingest it is the end-of-run barrier: the shard
+// workers drain, then each store commits its pending entries and metadata
+// and returns to the quiescent read contract. The executor calls it once
+// when the operator's run completes.
 func (w *Writer) Flush() error {
 	start := time.Now()
 	defer func() { w.elapsed += time.Since(start) }()
 	if err := w.flushBuffers(); err != nil {
 		return err
 	}
+	if w.coord != nil {
+		// However Flush exits, the stores must return to the quiescent
+		// read contract: a store left attached to a coordinator that the
+		// executor is about to close would route every later lookup into
+		// a dead pipeline.
+		defer func() {
+			for _, s := range w.fullStores {
+				s.detachIngest()
+			}
+			for _, s := range w.payStores {
+				s.detachIngest()
+			}
+		}()
+		bstart := time.Now()
+		if err := w.coord.Barrier(); err != nil {
+			return err
+		}
+		// The drain barrier is operator-thread flush latency shared by
+		// every store of this writer; split it so a node profiling k
+		// strategies does not charge each store the other k-1 stores'
+		// drain cost.
+		if n := len(w.fullStores) + len(w.payStores); n > 0 {
+			share := time.Since(bstart) / time.Duration(n)
+			for _, s := range w.fullStores {
+				s.AddFlushTime(share)
+			}
+			for _, s := range w.payStores {
+				s.AddFlushTime(share)
+			}
+		}
+	}
+	flushStore := func(s *Store) error {
+		fstart := time.Now()
+		err := s.Flush()
+		if w.coord != nil {
+			s.AddFlushTime(time.Since(fstart))
+		}
+		return err
+	}
 	for _, s := range w.fullStores {
-		if err := s.Flush(); err != nil {
+		if err := flushStore(s); err != nil {
 			return err
 		}
 	}
 	for _, s := range w.payStores {
-		if err := s.Flush(); err != nil {
+		if err := flushStore(s); err != nil {
 			return err
 		}
 	}

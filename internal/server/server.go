@@ -228,6 +228,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		LineageBytes: s.sys.LineageBytes(),
 		ArrayBytes:   s.sys.ArrayBytes(),
 		Ops:          ops,
+		Ingest:       subzero.NewWireIngestStats(s.sys.IngestSnapshot()),
 		Server: subzero.WireServerMetrics{
 			Requests:     m.Requests,
 			InFlight:     m.InFlight,

@@ -45,11 +45,33 @@ type Executor struct {
 	manager  *kvstore.Manager
 	stats    *lineage.Collector
 	runSeq   atomic.Int64
+
+	// ingestCfg sizes the sharded asynchronous capture pipeline; the zero
+	// value keeps the synchronous write path. ingestMetrics aggregates
+	// pipeline counters across every run for the serving layer.
+	ingestCfg     lineage.IngestConfig
+	ingestMetrics lineage.IngestMetrics
 }
 
 // NewExecutor creates an executor.
 func NewExecutor(versions *array.Versions, manager *kvstore.Manager, stats *lineage.Collector) *Executor {
 	return &Executor{versions: versions, manager: manager, stats: stats}
+}
+
+// SetIngest configures the asynchronous lineage ingest pipeline for
+// subsequent Execute calls: cfg.Shards > 1 moves span encoding and index
+// construction onto that many shard workers per run, leaving operators
+// only the enqueue cost. Call before Execute; the config is not applied
+// to runs already in flight.
+func (e *Executor) SetIngest(cfg lineage.IngestConfig) { e.ingestCfg = cfg }
+
+// IngestConfig returns the configured ingest pipeline parameters.
+func (e *Executor) IngestConfig() lineage.IngestConfig { return e.ingestCfg }
+
+// IngestSnapshot returns the aggregated ingest pipeline counters across
+// all runs executed so far.
+func (e *Executor) IngestSnapshot() lineage.IngestSnapshot {
+	return e.ingestMetrics.Snapshot(e.ingestCfg)
 }
 
 // Versions exposes the executor's no-overwrite array store.
@@ -113,13 +135,22 @@ func (e *Executor) Execute(ctx context.Context, spec *Spec, plan Plan, sources m
 	for name, src := range sources {
 		e.versions.Put(src.WithName(name))
 	}
+	// Stand up the per-run ingest coordinator when async capture is on:
+	// its shard workers encode lineage off the operator threads, and its
+	// lifetime is bounded by this Execute (and its context — cancellation
+	// fails the pipeline and surfaces through the writer's flush barrier).
+	var coord *lineage.Coordinator
+	if e.ingestCfg.Enabled() {
+		coord = lineage.NewCoordinator(ctx, e.ingestCfg, &e.ingestMetrics)
+		defer coord.Close()
+	}
 	start := time.Now()
 	for _, node := range order {
 		if err := ctx.Err(); err != nil {
 			e.releasePartial(run)
 			return nil, fmt.Errorf("workflow: cancelled at node %q: %w", node.ID, err)
 		}
-		if err := e.runNode(run, node, sources); err != nil {
+		if err := e.runNode(run, node, sources, coord); err != nil {
 			e.releasePartial(run)
 			return nil, fmt.Errorf("workflow: node %q: %w", node.ID, err)
 		}
@@ -148,7 +179,7 @@ func (e *Executor) releasePartial(run *Run) {
 	_ = e.ReleaseRun(run.ID)
 }
 
-func (e *Executor) runNode(run *Run, node *Node, sources map[string]*array.Array) error {
+func (e *Executor) runNode(run *Run, node *Node, sources map[string]*array.Array, coord *lineage.Coordinator) error {
 	ins, err := e.resolveInputs(run, node, sources)
 	if err != nil {
 		return err
@@ -200,6 +231,9 @@ func (e *Executor) runNode(run *Run, node *Node, sources map[string]*array.Array
 	var writer *lineage.Writer
 	if len(fullStores) > 0 || len(payStores) > 0 {
 		writer = lineage.NewWriter(outSpace, inSpaces, fullStores, payStores, nil)
+		if coord != nil {
+			writer.UseIngest(coord)
+		}
 	}
 	rc := NewRunCtx(modes, writer)
 
@@ -311,6 +345,34 @@ func (r *Run) MapCtx(nodeID string) (*MapCtx, error) {
 
 // Strategies returns the node's assigned strategies.
 func (r *Run) Strategies(nodeID string) []lineage.Strategy { return r.Plan.Strategies(nodeID) }
+
+// CaptureStats sums write-path statistics across every lineage store of
+// the run — the capture-overhead quantities of the BENCH_5 table.
+type CaptureStats struct {
+	OpWrite time.Duration // operator-thread write time (inline encode, or enqueue when sharded)
+	Drain   time.Duration // end-of-node drain barrier + flush wait (sharded only)
+	Encode  time.Duration // encode+commit work, summed across shard workers
+	Pairs   int64
+}
+
+// CaptureStats aggregates the run's store statistics.
+func (r *Run) CaptureStats() CaptureStats {
+	var cs CaptureStats
+	for _, stores := range r.stores {
+		for _, st := range stores {
+			ss := st.Stats()
+			cs.Encode += ss.WriteTime
+			cs.Pairs += int64(ss.Pairs)
+			if ss.Shards > 0 {
+				cs.OpWrite += ss.EnqueueTime
+				cs.Drain += ss.FlushTime
+			} else {
+				cs.OpWrite += ss.WriteTime
+			}
+		}
+	}
+	return cs
+}
 
 // LineageBytes sums the storage footprint of every lineage store in the
 // run — the disk-overhead quantity of Figures 5(a), 6(a), 7(a).

@@ -52,6 +52,7 @@ type config struct {
 	storageDir  string
 	qopts       query.Options
 	parallelism int
+	ingest      lineage.IngestConfig
 }
 
 // WithStorageDir stores lineage in log-structured files under dir; the
@@ -71,6 +72,16 @@ func WithParallelism(n int) Option {
 	return func(c *config) { c.parallelism = n }
 }
 
+// WithIngest enables the sharded asynchronous lineage capture pipeline:
+// operators enqueue raw region pairs and shards workers do the span
+// encoding and index construction off the execution thread, group-
+// committing to the lineage stores. shards <= 1 keeps the synchronous
+// write path; depth bounds each shard's queue in batches (<= 0 selects
+// the default), providing backpressure when operators outrun capture.
+func WithIngest(shards, depth int) Option {
+	return func(c *config) { c.ingest = lineage.IngestConfig{Shards: shards, Depth: depth} }
+}
+
 // NewSystem creates a SubZero instance.
 func NewSystem(options ...Option) (*System, error) {
 	cfg := config{qopts: query.DefaultOptions()}
@@ -86,11 +97,13 @@ func NewSystem(options ...Option) (*System, error) {
 	}
 	versions := array.NewVersions()
 	stats := lineage.NewCollector()
+	exec := workflow.NewExecutor(versions, mgr, stats)
+	exec.SetIngest(cfg.ingest)
 	return &System{
 		versions: versions,
 		manager:  mgr,
 		stats:    stats,
-		exec:     workflow.NewExecutor(versions, mgr, stats),
+		exec:     exec,
 		qopts:    cfg.qopts,
 		par:      cfg.parallelism,
 		runs:     make(map[string]*workflow.Run),
@@ -333,6 +346,10 @@ func (s *System) AllStats() []OpStats { return s.stats.All() }
 
 // LineageBytes returns the total storage held by all lineage stores.
 func (s *System) LineageBytes() int64 { return s.manager.TotalBytes() }
+
+// IngestSnapshot returns the capture pipeline's aggregated counters —
+// shard utilization, queue pressure, and flush (drain barrier) latency.
+func (s *System) IngestSnapshot() IngestSnapshot { return s.exec.IngestSnapshot() }
 
 // ArrayBytes returns the footprint of the versioned array store.
 func (s *System) ArrayBytes() int64 { return s.versions.TotalBytes() }

@@ -447,12 +447,51 @@ type WireServerMetrics struct {
 	ServerErrors int64 `json:"server_errors"`
 }
 
+// WireIngestStats is the capture pipeline's health view: queue pressure,
+// per-shard utilization, and flush (drain barrier) latency. Shards of 0
+// means the synchronous write path is in use.
+type WireIngestStats struct {
+	Shards         int     `json:"shards"`
+	Depth          int     `json:"depth"`
+	Batches        int64   `json:"batches"`
+	Pairs          int64   `json:"pairs"`
+	QueueHighWater int     `json:"queue_high_water"`
+	EncodeNS       int64   `json:"encode_ns"`
+	FlushNS        int64   `json:"flush_ns"`
+	Flushes        int64   `json:"flushes"`
+	ShardPairs     []int64 `json:"shard_pairs,omitempty"`
+	ShardBusyNS    []int64 `json:"shard_busy_ns,omitempty"`
+}
+
+// NewWireIngestStats converts an ingest snapshot to its wire form.
+func NewWireIngestStats(s IngestSnapshot) WireIngestStats {
+	out := WireIngestStats{
+		Shards:         s.Shards,
+		Depth:          s.Depth,
+		Batches:        s.Batches,
+		Pairs:          s.Pairs,
+		QueueHighWater: s.QueueHighWater,
+		EncodeNS:       s.EncodeTime.Nanoseconds(),
+		FlushNS:        s.FlushTime.Nanoseconds(),
+		Flushes:        s.Flushes,
+	}
+	if len(s.ShardPairs) > 0 {
+		out.ShardPairs = append([]int64(nil), s.ShardPairs...)
+		out.ShardBusyNS = make([]int64, len(s.ShardBusy))
+		for i, d := range s.ShardBusy {
+			out.ShardBusyNS[i] = d.Nanoseconds()
+		}
+	}
+	return out
+}
+
 // WireStats is the body of GET /v1/stats.
 type WireStats struct {
 	Runs         int               `json:"runs"`
 	LineageBytes int64             `json:"lineage_bytes"`
 	ArrayBytes   int64             `json:"array_bytes"`
 	Ops          []WireOpStats     `json:"ops,omitempty"`
+	Ingest       WireIngestStats   `json:"ingest"`
 	Server       WireServerMetrics `json:"server"`
 }
 
