@@ -104,7 +104,9 @@ func run() error {
 	// queries finish.
 	logger.Printf("signal received; draining (timeout %s)", *drainTimeout)
 	srv.Drain()
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	// Derive from the signal context without inheriting its cancellation:
+	// it has already fired, and the drain deadline must outlive it.
+	shutdownCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), *drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		logger.Printf("drain incomplete: %v; closing", err)

@@ -1,0 +1,142 @@
+// Command subzerolint runs SubZero's invariant analyzers (internal/lint)
+// over Go packages. It supports two modes:
+//
+// Standalone, over package patterns (the way CI runs it):
+//
+//	subzerolint ./...
+//	subzerolint -dir /path/to/module ./internal/...
+//
+// As a go vet tool, speaking the vet config protocol:
+//
+//	go build -o bin/subzerolint ./cmd/subzerolint
+//	go vet -vettool=$(pwd)/bin/subzerolint ./...
+//
+// Exit status is 0 when the tree is clean, 1 when findings were
+// reported, and 2 on loader or usage errors. Findings are suppressed
+// only by an explicit `//lint:ignore subzero/<analyzer> reason` comment
+// on or directly above the flagged line.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"subzero/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// The go vet driver probes its tool before use: -V=full must print a
+	// version line ending in a content hash of the executable (the build
+	// cache keys vet results on it), -flags the supported flag set.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V=") {
+		return printVersion()
+	}
+	fs := flag.NewFlagSet("subzerolint", flag.ContinueOnError)
+	dir := fs.String("dir", ".", "directory of the module to analyze (standalone mode)")
+	listFlags := fs.Bool("flags", false, "print the tool's flags as JSON (vet protocol)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listFlags {
+		fmt.Println("[]")
+		return 0
+	}
+	rest := fs.Args()
+
+	if len(rest) > 0 && rest[0] == "help" {
+		printHelp(rest[1:])
+		return 0
+	}
+
+	// A single *.cfg argument is the vet driver handing us one package's
+	// compilation unit.
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		findings, err := runVetUnit(rest[0])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "subzerolint: %v\n", err)
+			return 2
+		}
+		for _, f := range findings {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", f.Pos, f.Message, "subzero/"+f.Analyzer)
+		}
+		if len(findings) > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	patterns := rest
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "subzerolint: %v\n", err)
+		return 2
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		findings, err := lint.RunAnalyzers(pkg, lint.All())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "subzerolint: %v\n", err)
+			return 2
+		}
+		for _, f := range findings {
+			fmt.Printf("%s: %s [%s]\n", f.Pos, f.Message, "subzero/"+f.Analyzer)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// printVersion emits the `-V=full` line in the form cmd/go parses:
+// "<name> version <version> buildID=<hash of the binary>".
+func printVersion() int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "subzerolint: %v\n", err)
+		return 2
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "subzerolint: %v\n", err)
+		return 2
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(os.Stderr, "subzerolint: %v\n", err)
+		return 2
+	}
+	fmt.Printf("subzerolint version devel buildID=%02x\n", h.Sum(nil))
+	return 0
+}
+
+func printHelp(names []string) {
+	analyzers := lint.All()
+	if len(names) > 0 {
+		analyzers = analyzers[:0]
+		for _, n := range names {
+			if a := lint.ByName(n); a != nil {
+				analyzers = append(analyzers, a)
+			} else {
+				fmt.Fprintf(os.Stderr, "subzerolint: unknown analyzer %q\n", n)
+			}
+		}
+	}
+	fmt.Println("subzerolint enforces SubZero's concurrency, cancellation, and wire-format invariants:")
+	fmt.Println()
+	for _, a := range analyzers {
+		fmt.Printf("  subzero/%s\n      %s\n", a.Name, a.Doc)
+	}
+	fmt.Println()
+	fmt.Println("Suppress a finding with `//lint:ignore subzero/<analyzer> reason` on or above the line.")
+}

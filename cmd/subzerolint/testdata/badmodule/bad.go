@@ -1,0 +1,23 @@
+// Package badmod is a known-bad fixture module: subzerolint must exit
+// non-zero when run over it. It violates two invariants — a context is
+// minted in library code, and a variable written via sync/atomic is
+// read plainly.
+package badmod
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+var hits int64
+
+// Touch mixes atomic and plain access to the same variable.
+func Touch() int64 {
+	atomic.AddInt64(&hits, 1)
+	return hits
+}
+
+// Mint fabricates a context instead of accepting one from the caller.
+func Mint() context.Context {
+	return context.Background()
+}

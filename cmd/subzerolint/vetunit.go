@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+
+	"subzero/internal/lint"
+)
+
+// vetConfig is the compilation-unit description `go vet` hands its tool:
+// one package's sources plus export data for everything it imports. Field
+// names follow cmd/go's vet JSON.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one vet compilation unit. It mirrors the
+// x/tools unitchecker contract: typecheck the unit against the
+// driver-provided export data, run the suite, write the (empty — the
+// analyzers export no facts) vetx output, and report findings.
+func runVetUnit(cfgPath string) ([]lint.Finding, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parse vet config %s: %w", cfgPath, err)
+	}
+	// The driver caches facts through the vetx file; ours is always empty
+	// but must exist for the protocol to succeed.
+	writeVetx := func() error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		return os.WriteFile(cfg.VetxOutput, nil, 0o666)
+	}
+	if cfg.VetxOnly {
+		return nil, writeVetx()
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, gf := range cfg.GoFiles {
+		if !filepath.IsAbs(gf) {
+			gf = filepath.Join(cfg.Dir, gf)
+		}
+		f, err := parser.ParseFile(fset, gf, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, writeVetx()
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, writeVetx()
+		}
+		return nil, fmt.Errorf("typecheck %s: %w", cfg.ImportPath, err)
+	}
+
+	pkg := &lint.Package{
+		PkgPath:   cfg.ImportPath,
+		Name:      tpkg.Name(),
+		Dir:       cfg.Dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	findings, err := lint.RunAnalyzers(pkg, lint.All())
+	if err != nil {
+		return nil, err
+	}
+	return findings, writeVetx()
+}

@@ -1,0 +1,123 @@
+package binenc
+
+import (
+	"testing"
+)
+
+// The decoders must never panic or over-consume on arbitrary bytes, and
+// encode→decode must be the identity on canonical inputs. Byte-exact
+// decode→re-encode is deliberately NOT asserted: binary.Uvarint accepts
+// non-minimal varints, so valid decodes of non-canonical bytes exist.
+// Seed corpora come from the golden-bytes fixtures the unit tests pin.
+
+func FuzzDecodeCellSet(f *testing.F) {
+	f.Add(AppendCellSet(nil, nil))
+	f.Add(AppendCellSet(nil, []uint64{0}))
+	f.Add(AppendCellSet(nil, []uint64{3, 4, 5, 9, 20, 21}))
+	f.Add(AppendCellSet(nil, []uint64{0, 1, 2, 63, 64, 65, 1 << 40}))
+	f.Add(AppendUvarint(nil, 1<<40)) // absurd count, tiny buffer
+	f.Add([]byte{})
+	f.Add([]byte{0x80}) // truncated varint
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cells, n, err := DecodeCellSet(data)
+		if err != nil {
+			return
+		}
+		if n < 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+
+		// The streaming decoder must agree with the materializing one.
+		var streamed []uint64
+		sn, serr := DecodeCellSetInto(data, func(cell uint64) bool {
+			streamed = append(streamed, cell)
+			return true
+		})
+		if serr != nil || sn != n {
+			t.Fatalf("DecodeCellSetInto = (%d, %v), DecodeCellSet = (%d, nil)", sn, serr, n)
+		}
+		assertSameCells(t, "streamed", streamed, cells)
+
+		// Encode→decode is the identity on whatever we decoded: the
+		// delta arithmetic is symmetric even across uint64 wraparound.
+		re := AppendCellSet(nil, cells)
+		if got := CellSetLen(cells); got != len(re) {
+			t.Fatalf("CellSetLen = %d, encoded length = %d", got, len(re))
+		}
+		cells2, n2, err := DecodeCellSet(re)
+		if err != nil || n2 != len(re) {
+			t.Fatalf("re-decode = (%d, %v), want (%d, nil)", n2, err, len(re))
+		}
+		assertSameCells(t, "re-decoded", cells2, cells)
+	})
+}
+
+func FuzzDecodeRuns(f *testing.F) {
+	f.Add(AppendCellSetRuns(nil, nil))
+	f.Add(AppendCellSetRuns(nil, []uint64{3, 4, 5, 9, 20, 21})) // golden: {3, 3,3, 3,1, 10,2}
+	f.Add(AppendCellSetRuns(nil, []uint64{0, 1, 2, 3}))
+	f.Add(AppendCellSetRuns(nil, []uint64{0, 2, 4, 6, 8}))
+	f.Add([]byte{1, 0, 0}) // zero-length run
+	f.Add([]byte{0x80})    // truncated varint
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Arbitrary bytes: the decoder must never panic, emit a
+		// zero-length run, or consume past the buffer. Run extents can
+		// span nearly the whole uint64 range, so runs are counted, not
+		// materialized.
+		const maxRuns = 4096
+		runs := 0
+		n, err := DecodeRunsInto(data, func(start, length uint64) bool {
+			if length == 0 {
+				t.Fatalf("decoder emitted a zero-length run at %d", start)
+			}
+			runs++
+			return runs < maxRuns
+		})
+		if err == nil && (n < 0 || n > len(data)) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+
+		// Canonical path: derive a sorted cell set from the input (a mix
+		// of adjacent and spread cells), encode it, and require the
+		// decoder to reproduce it exactly.
+		limit := len(data)
+		if limit > maxRuns {
+			limit = maxRuns
+		}
+		cells := make([]uint64, 0, limit)
+		pos := uint64(0)
+		for _, b := range data[:limit] {
+			pos += uint64(b>>3) + 1 // gap 1 (consecutive) up to 32
+			cells = append(cells, pos)
+		}
+		enc := AppendCellSetRuns(nil, cells)
+		if got := CellSetRunsLen(cells); got != len(enc) {
+			t.Fatalf("CellSetRunsLen = %d, encoded length = %d", got, len(enc))
+		}
+		var decoded []uint64
+		dn, err := DecodeRunsInto(enc, func(start, length uint64) bool {
+			for c := start; c < start+length; c++ {
+				decoded = append(decoded, c)
+			}
+			return true
+		})
+		if err != nil || dn != len(enc) {
+			t.Fatalf("decode canonical encoding = (%d, %v), want (%d, nil)", dn, err, len(enc))
+		}
+		assertSameCells(t, "canonical round-trip", decoded, cells)
+	})
+}
+
+func assertSameCells(t *testing.T, what string, got, want []uint64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d cells, want %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: cell %d = %d, want %d", what, i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"subzero/internal/lint"
+)
+
+// TestIgnoreDirectiveContract pins the suppression rules: a directive
+// without a reason is itself a finding and suppresses nothing, and a
+// directive naming a different analyzer leaves the diagnostic standing.
+func TestIgnoreDirectiveContract(t *testing.T) {
+	pkgs, err := lint.Load(".", "./testdata/src/ignorecheck")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	findings, err := lint.RunAnalyzers(pkgs[0], []*lint.Analyzer{lint.CtxFlow})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	var reasonless, ctxflow int
+	for _, f := range findings {
+		switch {
+		case f.Analyzer == "ignore" && strings.Contains(f.Message, "needs a reason"):
+			reasonless++
+		case f.Analyzer == "ctxflow":
+			ctxflow++
+		default:
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	if reasonless != 1 {
+		t.Errorf("reasonless-directive findings = %d, want 1", reasonless)
+	}
+	// Both Background calls must survive: one under a reasonless
+	// directive, one under a directive for the wrong analyzer.
+	if ctxflow != 2 {
+		t.Errorf("unsuppressed ctxflow findings = %d, want 2", ctxflow)
+	}
+}
+
+// TestRealTreeIsClean locks in the satellite work of this change: the
+// production tree carries zero subzerolint findings, so any new finding
+// is a regression, not pre-existing noise.
+func TestRealTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and analyzes the whole module")
+	}
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	for _, pkg := range pkgs {
+		findings, err := lint.RunAnalyzers(pkg, lint.All())
+		if err != nil {
+			t.Fatalf("run on %s: %v", pkg.PkgPath, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s", f)
+		}
+	}
+}

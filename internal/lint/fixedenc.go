@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// fixedEncPackages are the package-path tails whose persisted encodings
+// must stay timing-independent.
+var fixedEncPackages = map[string]bool{
+	"binenc":  true,
+	"lineage": true,
+	"kvstore": true,
+}
+
+// FixedEnc enforces timing-independent store encodings: durations (and
+// other wall-clock-derived values) written by the serialization packages
+// must use fixed-width helpers, never varint. A varint-encoded duration
+// makes the record's byte size — and therefore LineageBytes, SizeBytes,
+// and every size-based benchmark assertion — depend on how fast the run
+// happened to execute.
+var FixedEnc = &Analyzer{
+	Name: "fixedenc",
+	Doc: "check that durations and stats are encoded fixed-width, never " +
+		"varint, so store sizes stay timing-independent",
+	Run: runFixedEnc,
+}
+
+func runFixedEnc(pass *Pass) error {
+	if !fixedEncPackages[pkgPathTail(pass.Pkg.Path())] {
+		return nil
+	}
+	InspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isVarintEncoder(pass.TypesInfo, call) || len(call.Args) == 0 {
+			return true
+		}
+		val := call.Args[len(call.Args)-1]
+		if timingDerived(pass.TypesInfo, val) {
+			pass.Reportf(call.Pos(),
+				"varint encoding of a wall-clock-derived value: the stored size would depend on timing; use a fixed-width encoding (binary.LittleEndian.AppendUint64)")
+		}
+		return true
+	})
+	return nil
+}
+
+// isVarintEncoder matches encoding/binary's varint writers and any
+// varint-named helper exported by a binenc package.
+func isVarintEncoder(info *types.Info, call *ast.CallExpr) bool {
+	if isPkgFunc(info, call, "encoding/binary",
+		"PutUvarint", "PutVarint", "AppendUvarint", "AppendVarint") {
+		return true
+	}
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	return pkgPathTail(fn.Pkg().Path()) == "binenc" &&
+		strings.Contains(strings.ToLower(fn.Name()), "varint")
+}
+
+// timingDerived reports whether the expression's value derives from a
+// time.Duration or a wall-clock reading, through any chain of
+// conversions, arithmetic, and accessor methods.
+func timingDerived(info *types.Info, expr ast.Expr) bool {
+	expr = ast.Unparen(expr)
+	if tv, ok := info.Types[expr]; ok && isDuration(tv.Type) {
+		return true
+	}
+	switch e := expr.(type) {
+	case *ast.CallExpr:
+		if isConversion(info, e) && len(e.Args) == 1 {
+			return timingDerived(info, e.Args[0])
+		}
+		return timingAccessor(info, e)
+	case *ast.BinaryExpr:
+		return timingDerived(info, e.X) || timingDerived(info, e.Y)
+	case *ast.UnaryExpr:
+		return timingDerived(info, e.X)
+	}
+	return false
+}
+
+// timingAccessor matches method calls that extract a number from a
+// duration or a wall-clock time: d.Nanoseconds(), t.UnixNano(), ...
+func timingAccessor(info *types.Info, call *ast.CallExpr) bool {
+	fn := staticCallee(info, call)
+	if fn == nil {
+		return false
+	}
+	sig := fn.Signature()
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	switch {
+	case isDuration(recv):
+		return true
+	case isNamed(recv, "time", "Time"):
+		return strings.HasPrefix(fn.Name(), "Unix")
+	}
+	return false
+}

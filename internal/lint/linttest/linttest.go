@@ -1,0 +1,126 @@
+// Package linttest runs subzerolint analyzers over testdata fixture
+// packages and compares the diagnostics against expectations written in
+// the fixtures themselves, in the style of golang.org/x/tools'
+// analysistest:
+//
+//	ctx := context.Background() // want `context\.Background\(\) in library code`
+//
+// Every diagnostic must be matched by a `// want "regexp"` (or
+// backquoted) comment on its line, and every want comment must be
+// matched by a diagnostic; anything unmatched on either side fails the
+// test. Fixtures are real packages under testdata — they typecheck
+// against the module and the standard library, so analyzer behavior is
+// exercised on the same typed ASTs the production driver sees.
+package linttest
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+
+	"subzero/internal/lint"
+)
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture packages named by the patterns (relative to the
+// test's working directory), applies the analyzer, and diffs diagnostics
+// against the fixtures' want comments.
+func Run(t *testing.T, a *lint.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		t.Fatalf("load fixtures %v: %v", patterns, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages matched %v", patterns)
+	}
+	for _, pkg := range pkgs {
+		findings, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{a})
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+		wants := collectWants(t, pkg)
+		for _, f := range findings {
+			if !matchWant(wants, f.Pos.Filename, f.Pos.Line, f.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s [subzero/%s]", f.Pos, f.Message, f.Analyzer)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.rx)
+			}
+		}
+	}
+}
+
+// matchWant consumes the first unmatched want on the diagnostic's line
+// whose regexp matches the message.
+func matchWant(wants []*want, file string, line int, message string) bool {
+	for _, w := range wants {
+		if w.matched || w.file != file || w.line != line {
+			continue
+		}
+		if w.rx.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses the `// want` comments of every fixture file.
+func collectWants(t *testing.T, pkg *lint.Package) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				out = append(out, parseWant(t, pkg, c)...)
+			}
+		}
+	}
+	return out
+}
+
+// parseWant extracts zero or more expectations from one comment. The
+// comment position anchors the expected diagnostic line.
+func parseWant(t *testing.T, pkg *lint.Package, c *ast.Comment) []*want {
+	t.Helper()
+	text := strings.TrimPrefix(c.Text, "//")
+	idx := strings.Index(text, "want ")
+	if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+		return nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	rest := strings.TrimSpace(text[idx+len("want "):])
+	var out []*want
+	for rest != "" {
+		quote := rest[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s: malformed want comment: expectations must be quoted: %s", pos, c.Text)
+		}
+		end := strings.IndexByte(rest[1:], quote)
+		if end < 0 {
+			t.Fatalf("%s: malformed want comment: unterminated %c-quote: %s", pos, quote, c.Text)
+		}
+		pattern := rest[1 : 1+end]
+		rx, err := regexp.Compile(pattern)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+		}
+		out = append(out, &want{file: pos.Filename, line: pos.Line, rx: rx})
+		rest = strings.TrimSpace(rest[1+end+1:])
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want comment carries no expectations: %s", pos, c.Text)
+	}
+	return out
+}

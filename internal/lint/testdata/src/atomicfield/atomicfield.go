@@ -1,0 +1,46 @@
+// Package atomicfield is a subzerolint fixture: variables accessed via
+// sync/atomic must never be read or written plainly anywhere else.
+package atomicfield
+
+import "sync/atomic"
+
+// counters mixes atomic and plain access on purpose.
+type counters struct {
+	hits   int64
+	misses int64
+}
+
+var global int64
+
+// Inc is the atomic side of the mix; these accesses are not flagged.
+func (c *counters) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.StoreInt64(&global, 1)
+}
+
+// Hits reads the atomically-written field plainly.
+func (c *counters) Hits() int64 {
+	return c.hits // want `"hits" is accessed with sync/atomic elsewhere in this package`
+}
+
+// Misses never mixes: plain access only, not flagged.
+func (c *counters) Misses() int64 {
+	c.misses++
+	return c.misses
+}
+
+// Reset writes the atomically-accessed package variable plainly.
+func Reset() {
+	global = 0 // want `"global" is accessed with sync/atomic elsewhere in this package`
+}
+
+// Loaded reads atomically: not flagged.
+func (c *counters) Loaded() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// Snapshot documents a deliberate plain read with the ignore directive.
+func (c *counters) Snapshot() int64 {
+	//lint:ignore subzero/atomicfield fixture exercising the suppression path
+	return c.hits
+}

@@ -1,0 +1,29 @@
+// Package lineage is a subzerolint fixture: inside the store-encoding
+// packages (binenc, lineage, kvstore), durations and other wall-clock
+// readings must be encoded fixed-width — a varint's length depends on
+// the value, so store sizes would depend on timing.
+package lineage
+
+import (
+	"encoding/binary"
+	"time"
+)
+
+// EncodeStats mixes legitimate varint counts with flagged varint
+// timings.
+func EncodeStats(buf []byte, pairs int, writeTime time.Duration, flushed time.Time) []byte {
+	buf = binary.AppendUvarint(buf, uint64(pairs))                 // ok: a count is timing-independent
+	buf = binary.AppendUvarint(buf, uint64(writeTime))             // want `varint encoding of a wall-clock-derived value`
+	buf = binary.AppendUvarint(buf, uint64(flushed.UnixNano()))    // want `varint encoding of a wall-clock-derived value`
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(writeTime)) // ok: fixed width
+	tmp := make([]byte, binary.MaxVarintLen64)
+	n := binary.PutUvarint(tmp, uint64(writeTime.Nanoseconds())) // want `varint encoding of a wall-clock-derived value`
+	return append(buf, tmp[:n]...)
+}
+
+// AppendLegacy keeps a varint duration for format compatibility,
+// documented with the ignore directive.
+func AppendLegacy(buf []byte, d time.Duration) []byte {
+	//lint:ignore subzero/fixedenc fixture exercising the suppression path
+	return binary.AppendUvarint(buf, uint64(d))
+}

@@ -1,0 +1,14 @@
+// Package other sits outside the fixedenc scope (binenc, lineage,
+// kvstore): varint-encoding a duration here is legal, so this package
+// must produce no findings.
+package other
+
+import (
+	"encoding/binary"
+	"time"
+)
+
+// AppendElapsed varint-encodes a duration outside the store packages.
+func AppendElapsed(buf []byte, d time.Duration) []byte {
+	return binary.AppendUvarint(buf, uint64(d))
+}

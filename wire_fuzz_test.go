@@ -1,0 +1,58 @@
+package subzero_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"subzero"
+)
+
+// FuzzWireQueryRoundTrip feeds arbitrary JSON through the wire decode
+// path: anything that unmarshals and validates must survive
+// Query → NewWireQuery → Query unchanged, and the wire form itself must
+// be a JSON fixed point after one normalization pass.
+func FuzzWireQueryRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"direction":"backward","cells":[1,2,3],"path":[{"node":"blur","input":0}]}`))
+	f.Add([]byte(`{"direction":"forward","cells":[0],"path":[{"node":"mask"},{"node":"sum","input":1}]}`))
+	f.Add([]byte(`{"cells":[],"path":[]}`))
+	f.Add([]byte(`{"direction":"BACKWARD","cells":[18446744073709551615],"path":null}`))
+	f.Add([]byte(`{"direction":"sideways"}`))
+	f.Add([]byte(`{}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var w subzero.WireQuery
+		if err := json.Unmarshal(data, &w); err != nil {
+			return
+		}
+		q, err := w.Query()
+		if err != nil {
+			return
+		}
+		w2 := subzero.NewWireQuery(q)
+		q2, err := w2.Query()
+		if err != nil {
+			t.Fatalf("normalized wire form failed to convert: %v\n%+v", err, w2)
+		}
+		if !reflect.DeepEqual(q2, q) {
+			t.Fatalf("query round-trip mismatch:\nfirst:  %+v\nsecond: %+v", q, q2)
+		}
+
+		// The normalized wire form is a JSON fixed point.
+		enc, err := json.Marshal(w2)
+		if err != nil {
+			t.Fatalf("marshal normalized wire query: %v", err)
+		}
+		var w3 subzero.WireQuery
+		if err := json.Unmarshal(enc, &w3); err != nil {
+			t.Fatalf("unmarshal normalized wire query: %v", err)
+		}
+		q3, err := w3.Query()
+		if err != nil {
+			t.Fatalf("re-decoded wire form failed to convert: %v", err)
+		}
+		if !reflect.DeepEqual(q3, q2) {
+			t.Fatalf("json round-trip mismatch:\nfirst:  %+v\nsecond: %+v", q2, q3)
+		}
+	})
+}
