@@ -15,8 +15,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 
 	"subzero"
@@ -126,6 +128,86 @@ func (c *Client) Stats(ctx context.Context) (*subzero.WireStats, error) {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// WorkloadProfile fetches the server's live workload profile — the
+// backward/forward mix, per-class latency quantiles, and per-operator
+// access-path hit counts from GET /v1/stats.
+func (c *Client) WorkloadProfile(ctx context.Context) (*subzero.WireWorkloadProfile, error) {
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &stats.Workload, nil
+}
+
+// Metrics fetches GET /v1/metrics and parses the Prometheus text
+// exposition into a flat map keyed by sample name including its label
+// set, exactly as exposed (e.g. `subzero_queries_total{direction="backward"}`).
+// Comment lines (# HELP / # TYPE) are skipped. For structured access
+// prefer Stats or WorkloadProfile; this accessor exists so tests and
+// tooling can assert on the exposition without a Prometheus dependency.
+func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/metrics", nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: build request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: GET /v1/metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, fmt.Errorf("client: read /v1/metrics: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg := strings.TrimSpace(string(blob))
+		var wire subzero.WireError
+		if err := json.Unmarshal(blob, &wire); err == nil && wire.Error.Message != "" {
+			msg = wire.Error.Message
+		}
+		return nil, &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	return ParseExposition(string(blob))
+}
+
+// ParseExposition parses Prometheus text-format samples into a map keyed
+// by `name{labels}` (or bare name when unlabeled). The value separator is
+// the LAST space on the line: label values may themselves contain spaces.
+func ParseExposition(text string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cut := strings.LastIndexByte(line, ' ')
+		if cut <= 0 {
+			return nil, fmt.Errorf("client: metrics line %d: no value separator: %q", lineNo+1, line)
+		}
+		key, val := line[:cut], line[cut+1:]
+		f, err := parsePromValue(val)
+		if err != nil {
+			return nil, fmt.Errorf("client: metrics line %d: %w", lineNo+1, err)
+		}
+		out[key] = f
+	}
+	return out, nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q: %w", s, err)
+	}
+	return f, nil
 }
 
 // Workflows lists the server's executable workflow catalog.

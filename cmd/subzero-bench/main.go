@@ -11,6 +11,8 @@
 //	subzero-bench fig9    microbenchmark backward query cost
 //	subzero-bench capture capture overhead with lineage on/off, serial vs
 //	                      sharded asynchronous ingest (-ingest-shards)
+//	subzero-bench obs     observability snapshot: ingest stall/flush and
+//	                      query/kvstore latency histograms under load
 //	subzero-bench all     everything above
 //
 // Absolute numbers differ from the 2013 Python/BerkeleyDB prototype; the
@@ -28,11 +30,13 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"subzero"
 	"subzero/internal/astro"
 	"subzero/internal/benchfmt"
 	"subzero/internal/genomics"
 	"subzero/internal/lineage"
 	"subzero/internal/microbench"
+	"subzero/internal/obs"
 )
 
 func main() {
@@ -122,10 +126,10 @@ func run(args []string) error {
 		"fig5a": fig5a, "fig5b": fig5b,
 		"fig6a": fig6a, "fig6b": fig6b, "fig6c": fig6c,
 		"fig7": fig7, "fig8": fig8, "fig9": fig9,
-		"capture": capture,
+		"capture": capture, "obs": obsFigure,
 	}
 	if cmd == "all" {
-		for _, name := range []string{"fig5a", "fig5b", "fig6a", "fig6b", "fig6c", "fig7", "fig8", "fig9", "capture"} {
+		for _, name := range []string{"fig5a", "fig5b", "fig6a", "fig6b", "fig6c", "fig7", "fig8", "fig9", "capture", "obs"} {
 			if err := runners[name](ctx, opts); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -375,6 +379,78 @@ func capture(ctx context.Context, opts options) error {
 	for _, r := range rows {
 		t.AddRow(r.workload, r.strategy, r.ingestLabel, r.pairs, r.elapsed, r.opWrite, r.drain, r.overhead, r.encode)
 	}
+	render(t)
+	return nil
+}
+
+// obsFigure snapshots the observability layer under load: the genomics
+// workflow executes on a full System with sharded ingest (so enqueue-stall
+// and drain-barrier histograms fill), the paper's query workload runs a
+// few rounds, and the resulting obs histograms — the same ones
+// subzero-serve exposes at /v1/metrics — land in the JSON report so
+// latency-distribution regressions are tracked alongside the figure
+// tables.
+func obsFigure(ctx context.Context, opts options) error {
+	shards := opts.ingestShards
+	if shards < 2 {
+		shards = 2
+	}
+	sys, err := subzero.NewSystem(subzero.WithIngest(shards, opts.ingestDepth))
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	cfg := genomics.DefaultGenConfig().Scaled(opts.genScale)
+	fmt.Printf("observability snapshot: genomics scale %dx, ingest shards=%d\n\n", cfg.Scale, shards)
+	spec, err := genomics.NewSpec()
+	if err != nil {
+		return err
+	}
+	data, err := genomics.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	plan, err := genomics.Plan("PayBoth")
+	if err != nil {
+		return err
+	}
+	run, err := sys.Execute(ctx, spec, plan, map[string]*subzero.Array{"train": data.Train, "test": data.Test})
+	if err != nil {
+		return err
+	}
+	qmap, err := genomics.Queries(run)
+	if err != nil {
+		return err
+	}
+	var queries []subzero.Query
+	for _, qn := range genomics.QueryNames {
+		queries = append(queries, qmap[qn])
+	}
+	const rounds = 5
+	for r := 0; r < rounds; r++ {
+		br, err := sys.QueryBatch(ctx, run, queries, subzero.DefaultQueryOptions())
+		if err != nil {
+			return err
+		}
+		if br.Report.Failed != 0 {
+			return fmt.Errorf("obs: %d workload queries failed", br.Report.Failed)
+		}
+	}
+	set := sys.Observability()
+	t := benchfmt.NewTable("Observability: ingest + query + kvstore latency histograms",
+		"metric", "count", "p50", "p95", "p99", "mean", "total")
+	addHist := func(name string, h *obs.Histogram) {
+		s := h.Snapshot()
+		t.AddRow(name, s.Count,
+			time.Duration(s.Quantile(0.50)), time.Duration(s.Quantile(0.95)),
+			time.Duration(s.Quantile(0.99)), time.Duration(s.Mean()), time.Duration(s.Sum))
+	}
+	addHist("ingest enqueue stall", set.Ingest.EnqueueStall)
+	addHist("ingest flush barrier", set.Ingest.Flush)
+	addHist("query backward", set.Query.Latency[0])
+	addHist("query forward", set.Query.Latency[1])
+	addHist("kvstore get-batch", set.KV.GetBatchLatency)
+	addHist("kvstore put-batch", set.KV.PutBatchLatency)
 	render(t)
 	return nil
 }

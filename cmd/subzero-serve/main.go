@@ -6,6 +6,13 @@
 //
 //	subzero-serve [-addr :8080] [-dir /var/lib/subzero] [-parallelism 8]
 //	              [-max-inflight 64] [-drain-timeout 30s] [-quiet]
+//	              [-log-interval 30s] [-slow-query 250ms] [-pprof]
+//
+// Observability: metrics are exposed in Prometheus text format at
+// GET /v1/metrics; the daemon logs a one-line serving summary every
+// -log-interval (quiet mode disables it) plus one structured line per
+// query slower than -slow-query; -pprof mounts net/http/pprof under
+// /debug/pprof/.
 //
 // Ctrl-C (or SIGTERM) drains: the health check flips to "draining", new
 // heavy requests are shed with 503, and in-flight queries run to
@@ -43,9 +50,12 @@ func run() error {
 	parallelism := flag.Int("parallelism", 0, "query-batch worker pool size (default GOMAXPROCS)")
 	maxInFlight := flag.Int("max-inflight", server.DefaultMaxInFlight, "bounded in-flight request cap")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
-	quiet := flag.Bool("quiet", false, "disable per-request logging")
+	quiet := flag.Bool("quiet", false, "disable periodic summary and slow-query logging")
 	ingestShards := flag.Int("ingest-shards", 0, "lineage ingest shard workers per run (<=1 keeps capture synchronous)")
 	ingestDepth := flag.Int("ingest-depth", 0, "per-shard ingest queue depth in batches (default 8)")
+	logInterval := flag.Duration("log-interval", 30*time.Second, "period between serving summary log lines (<=0 disables)")
+	slowQuery := flag.Duration("slow-query", 0, "log one structured line per lineage query at least this slow (0 disables)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "subzero-serve: ", log.LstdFlags)
@@ -74,6 +84,8 @@ func run() error {
 		System:      sys,
 		MaxInFlight: *maxInFlight,
 		Logger:      reqLogger,
+		SlowQuery:   *slowQuery,
+		EnablePprof: *pprofOn,
 	})
 	if err != nil {
 		return err
@@ -81,6 +93,23 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Periodic one-line serving summaries from the latency histograms —
+	// the replacement for per-request log lines. Quiet mode stays quiet.
+	if !*quiet && *logInterval > 0 {
+		go func() {
+			ticker := time.NewTicker(*logInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					logger.Printf("summary: %s", srv.Summary())
+				}
+			}
+		}()
+	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv}
 
@@ -112,8 +141,7 @@ func run() error {
 		logger.Printf("drain incomplete: %v; closing", err)
 		hs.Close()
 	}
-	m := srv.MetricsSnapshot()
-	logger.Printf("served %d requests (%d rejected, %d cancelled); bye", m.Requests, m.Rejected, m.Cancelled)
+	logger.Printf("final summary: %s; bye", srv.Summary())
 	return <-errc
 }
 

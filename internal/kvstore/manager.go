@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"subzero/internal/obs"
 )
 
 // Manager allocates one Store per namespace — the "operator specific
@@ -14,9 +16,10 @@ import (
 // directory creates FileStores under it; a Manager with an empty root hands
 // out MemStores, which tests and CPU-bound benchmarks use.
 type Manager struct {
-	mu     sync.Mutex
-	root   string
-	stores map[string]Store
+	mu      sync.Mutex
+	root    string
+	stores  map[string]Store
+	metrics *obs.KVObs
 }
 
 // NewManager creates a manager. If root is non-empty the directory is
@@ -33,6 +36,15 @@ func NewManager(root string) (*Manager, error) {
 
 // InMemory reports whether the manager hands out memory-backed stores.
 func (m *Manager) InMemory() bool { return m.root == "" }
+
+// SetMetrics attaches obs counters; stores opened afterwards are wrapped
+// so every Get/GetBatch/Put/PutBatch/Scan is counted. Attach before the
+// first Open — already-open stores stay unwrapped.
+func (m *Manager) SetMetrics(kv *obs.KVObs) {
+	m.mu.Lock()
+	m.metrics = kv
+	m.mu.Unlock()
+}
 
 // Open returns the store for a namespace, creating it on first use.
 // Namespaces are arbitrary strings; they are sanitized into file names.
@@ -52,6 +64,7 @@ func (m *Manager) Open(namespace string) (Store, error) {
 		}
 		s = fs
 	}
+	s = Instrument(s, m.metrics)
 	m.stores[namespace] = s
 	return s, nil
 }

@@ -3,9 +3,12 @@ package lineage
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"subzero/internal/obs"
 )
 
 // This file is the sharded asynchronous ingest pipeline: the write half
@@ -219,6 +222,7 @@ func (c *Coordinator) Enqueue(stores []*Store, pairs []RegionPair) error {
 	if err := c.Err(); err != nil {
 		return err
 	}
+	enqueueStart := time.Now()
 	c.life.RLock()
 	defer c.life.RUnlock()
 	c.mu.Lock()
@@ -279,7 +283,10 @@ func (c *Coordinator) Enqueue(stores []*Store, pairs []RegionPair) error {
 		st.AddEnqueueTime(time.Since(start))
 	}
 	if c.metrics != nil {
-		c.metrics.recordEnqueue(batches, len(pairs))
+		// The stall covers the whole hand-off — partitioning, id
+		// reservation, and time blocked on full shard queues — i.e. what
+		// async capture still costs the operator thread.
+		c.metrics.recordEnqueue(batches, len(pairs), time.Since(enqueueStart))
 	}
 	return c.Err()
 }
@@ -377,9 +384,32 @@ type IngestMetrics struct {
 	queueHighWater int
 	encodeNS       time.Duration
 	barrierNS      time.Duration
+	barrierMinNS   time.Duration // 0 until the first barrier
+	barrierMaxNS   time.Duration
 	barriers       int64
 	shardPairs     []int64
 	shardBusyNS    []time.Duration
+
+	// obs mirrors the counters into the process-wide metric registry; nil
+	// when the owning System has no observability set attached. The
+	// per-shard series are resolved once in ensureShards so the worker
+	// loop pays only atomic adds.
+	obs           *obs.IngestObs
+	obsShardBusy  []*obs.Counter
+	obsShardPairs []*obs.Counter
+}
+
+// SetObs attaches the obs ingest bundle. Attach before the first
+// coordinator is created; per-shard series resolve lazily as shard counts
+// grow.
+func (m *IngestMetrics) SetObs(o *obs.IngestObs) {
+	m.mu.Lock()
+	m.obs = o
+	n := len(m.shardPairs)
+	m.mu.Unlock()
+	if n > 0 {
+		m.ensureShards(n)
+	}
 }
 
 func (m *IngestMetrics) ensureShards(n int) {
@@ -389,13 +419,26 @@ func (m *IngestMetrics) ensureShards(n int) {
 		m.shardPairs = append(m.shardPairs, 0)
 		m.shardBusyNS = append(m.shardBusyNS, 0)
 	}
+	if m.obs != nil {
+		for len(m.obsShardBusy) < n {
+			label := strconv.Itoa(len(m.obsShardBusy))
+			m.obsShardBusy = append(m.obsShardBusy, m.obs.ShardBusy.With1(label))
+			m.obsShardPairs = append(m.obsShardPairs, m.obs.ShardPairs.With1(label))
+		}
+	}
 }
 
-func (m *IngestMetrics) recordEnqueue(batches, pairs int) {
+func (m *IngestMetrics) recordEnqueue(batches, pairs int, stall time.Duration) {
 	m.mu.Lock()
 	m.batches += int64(batches)
 	m.pairs += int64(pairs)
+	o := m.obs
 	m.mu.Unlock()
+	if o != nil {
+		o.Batches.Add(int64(batches))
+		o.Pairs.Add(int64(pairs))
+		o.EnqueueStall.ObserveDuration(stall)
+	}
 }
 
 func (m *IngestMetrics) observeDepth(depth int) {
@@ -403,7 +446,11 @@ func (m *IngestMetrics) observeDepth(depth int) {
 	if depth > m.queueHighWater {
 		m.queueHighWater = depth
 	}
+	o := m.obs
 	m.mu.Unlock()
+	if o != nil {
+		o.QueueDepth.Set(int64(depth))
+	}
 }
 
 func (m *IngestMetrics) recordTask(shard, pairs int, busy time.Duration) {
@@ -413,6 +460,10 @@ func (m *IngestMetrics) recordTask(shard, pairs int, busy time.Duration) {
 		m.shardPairs[shard] += int64(pairs)
 		m.shardBusyNS[shard] += busy
 	}
+	if shard < len(m.obsShardBusy) {
+		m.obsShardBusy[shard].Add(int64(busy))
+		m.obsShardPairs[shard].Add(int64(pairs))
+	}
 	m.mu.Unlock()
 }
 
@@ -420,7 +471,17 @@ func (m *IngestMetrics) recordBarrier(d time.Duration) {
 	m.mu.Lock()
 	m.barrierNS += d
 	m.barriers++
+	if m.barrierMinNS == 0 || d < m.barrierMinNS {
+		m.barrierMinNS = d
+	}
+	if d > m.barrierMaxNS {
+		m.barrierMaxNS = d
+	}
+	o := m.obs
 	m.mu.Unlock()
+	if o != nil {
+		o.Flush.ObserveDuration(d)
+	}
 }
 
 // IngestSnapshot is a point-in-time copy of the pipeline counters.
@@ -432,6 +493,9 @@ type IngestSnapshot struct {
 	QueueHighWater int             // deepest shard queue observed, in batches
 	EncodeTime     time.Duration   // summed shard-worker busy time
 	FlushTime      time.Duration   // summed drain-barrier latency
+	FlushMin       time.Duration   // fastest drain barrier (0 until one runs)
+	FlushAvg       time.Duration   // mean drain-barrier latency
+	FlushMax       time.Duration   // slowest drain barrier
 	Flushes        int64           // drain barriers executed
 	ShardPairs     []int64         // per-shard pairs processed
 	ShardBusy      []time.Duration // per-shard busy time
@@ -447,9 +511,14 @@ func (m *IngestMetrics) Snapshot(cfg IngestConfig) IngestSnapshot {
 		QueueHighWater: m.queueHighWater,
 		EncodeTime:     m.encodeNS,
 		FlushTime:      m.barrierNS,
+		FlushMin:       m.barrierMinNS,
+		FlushMax:       m.barrierMaxNS,
 		Flushes:        m.barriers,
 		ShardPairs:     append([]int64(nil), m.shardPairs...),
 		ShardBusy:      append([]time.Duration(nil), m.shardBusyNS...),
+	}
+	if m.barriers > 0 {
+		snap.FlushAvg = m.barrierNS / time.Duration(m.barriers)
 	}
 	if cfg.Enabled() {
 		cfg = cfg.normalized()

@@ -10,6 +10,7 @@ import (
 	"subzero/internal/grid"
 	"subzero/internal/kvstore"
 	"subzero/internal/lineage"
+	"subzero/internal/obs"
 	"subzero/internal/query"
 	"subzero/internal/workflow"
 )
@@ -33,6 +34,14 @@ type Fixture struct {
 // returns the warmed fixture. An empty storageRoot keeps lineage in
 // memory, isolating lookup CPU cost from I/O.
 func NewFixture(ctx context.Context, cfg Config, strategy, storageRoot string) (*Fixture, error) {
+	return NewFixtureObs(ctx, cfg, strategy, storageRoot, nil)
+}
+
+// NewFixtureObs is NewFixture with a metric set threaded through every
+// layer (kvstore, ingest, query executor), for measuring observation
+// overhead and for the subzero-bench "obs" figure. A nil set leaves the
+// fixture unobserved.
+func NewFixtureObs(ctx context.Context, cfg Config, strategy, storageRoot string, set *obs.Set) (*Fixture, error) {
 	plan, err := planFor(strategy)
 	if err != nil {
 		return nil, err
@@ -52,6 +61,10 @@ func NewFixture(ctx context.Context, cfg Config, strategy, storageRoot string) (
 		return nil, err
 	}
 	exec := workflow.NewExecutor(array.NewVersions(), mgr, lineage.NewCollector())
+	if set != nil {
+		mgr.SetMetrics(&set.KV) // before the first Open so stores get wrapped
+		exec.SetObs(&set.Ingest)
+	}
 	run, err := exec.Execute(ctx, spec, plan, map[string]*array.Array{"input": input})
 	if err != nil {
 		mgr.Close()
@@ -63,11 +76,15 @@ func NewFixture(ctx context.Context, cfg Config, strategy, storageRoot string) (
 	for i := range cells {
 		cells[i] = uint64(rng.Int63n(size))
 	}
+	qe := query.New(run, exec.Stats(), query.Options{EntireArray: true, Dynamic: false})
+	if set != nil {
+		qe.WithObs(&set.Query)
+	}
 	f := &Fixture{
 		Strategy: strategy,
 		Cfg:      cfg,
 		run:      run,
-		qe:       query.New(run, exec.Stats(), query.Options{EntireArray: true, Dynamic: false}),
+		qe:       qe,
 		cells:    cells,
 		mgr:      mgr,
 	}

@@ -3,6 +3,8 @@ package microbench
 import (
 	"context"
 	"testing"
+
+	"subzero/internal/obs"
 )
 
 // benchConfig is the lookup benchmark workload: the paper's 1000×1000
@@ -47,5 +49,38 @@ func BenchmarkBackwardLookup(b *testing.B) {
 func BenchmarkForwardLookup(b *testing.B) {
 	for _, strat := range []string{"->FullOne", "<-FullOne"} {
 		b.Run(strat, func(b *testing.B) { benchLookup(b, strat, true) })
+	}
+}
+
+// BenchmarkBackwardLookupObs measures the cost of full observation
+// (kvstore wrapping, query spans, latency histograms) against the
+// unobserved baseline on the same workload. Compare the off/on pairs with
+// benchstat; the obs hot path is designed to stay within ~2%.
+func BenchmarkBackwardLookupObs(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		set  *obs.Set
+	}{
+		{"off", nil},
+		{"on", obs.NewSet()},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			f, err := NewFixtureObs(context.Background(), benchConfig(), "<-FullOne", "", mode.set)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n, err := f.Backward(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					b.Fatal("empty lookup result")
+				}
+			}
+		})
 	}
 }

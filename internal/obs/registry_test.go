@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+-]+|\+Inf)$`)
+
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("subzero_test_ops_total", "Operations performed.", Raw)
+	c.Add(7)
+	g := r.NewGauge("subzero_test_depth", "Queue depth.")
+	g.Set(3)
+	h := r.NewHistogram("subzero_test_latency_seconds", "Latency.", Nanos)
+	h.Observe(1500) // 1.5µs -> bucket le 2048ns = 2.048e-06s
+	cv := r.NewCounterVec("subzero_test_hits_total", "Hits by kind.", Raw, "kind")
+	cv.With1("alpha").Add(2)
+	cv.With1("beta").Inc()
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP subzero_test_ops_total Operations performed.\n",
+		"# TYPE subzero_test_ops_total counter\n",
+		"subzero_test_ops_total 7\n",
+		"# TYPE subzero_test_depth gauge\n",
+		"subzero_test_depth 3\n",
+		"# TYPE subzero_test_latency_seconds histogram\n",
+		"subzero_test_latency_seconds_count 1\n",
+		"subzero_test_latency_seconds_sum 1.5e-06\n",
+		`subzero_test_hits_total{kind="alpha"} 2` + "\n",
+		`subzero_test_hits_total{kind="beta"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+
+	// Families must be sorted by name and preceded by HELP then TYPE.
+	var lastFamily string
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	helpSeen := map[string]bool{}
+	typeSeen := map[string]bool{}
+	for _, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			name := strings.Fields(line)[2]
+			if name < lastFamily {
+				t.Errorf("family %s out of order after %s", name, lastFamily)
+			}
+			lastFamily = name
+			helpSeen[name] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			name := strings.Fields(line)[2]
+			if !helpSeen[name] {
+				t.Errorf("TYPE before HELP for %s", name)
+			}
+			typeSeen[name] = true
+		default:
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Errorf("unparsable sample line %q", line)
+				continue
+			}
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(m[1], "_bucket"), "_sum"), "_count")
+			if !typeSeen[base] && !typeSeen[m[1]] {
+				t.Errorf("sample %q has no TYPE line", line)
+			}
+		}
+	}
+}
+
+func TestHistogramExpositionCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "h", Nanos)
+	for _, v := range []int64{1, 2, 3, 1000, 1 << 50} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var prev int64 = -1
+	var infCount, total int64
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if !strings.HasPrefix(line, "lat_seconds_bucket") {
+			if strings.HasPrefix(line, "lat_seconds_count ") {
+				total, _ = strconv.ParseInt(strings.TrimPrefix(line, "lat_seconds_count "), 10, 64)
+			}
+			continue
+		}
+		_, val, ok := strings.Cut(line, "} ")
+		if !ok {
+			t.Fatalf("malformed bucket line %q", line)
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			t.Fatalf("bucket value %q: %v", val, err)
+		}
+		if n < prev {
+			t.Errorf("bucket counts not cumulative: %d after %d in %q", n, prev, line)
+		}
+		prev = n
+		if strings.Contains(line, `le="+Inf"`) {
+			infCount = n
+		}
+	}
+	if infCount != 5 || total != 5 {
+		t.Errorf("+Inf bucket %d, count %d, want both 5", infCount, total)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	cv := r.NewCounterVec("esc_total", "h", Raw, "endpoint")
+	cv.With1("GET /v1/\"weird\"\npath\\x").Inc()
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{endpoint="GET /v1/\"weird\"\npath\\x"} 1`
+	if !strings.Contains(sb.String(), want+"\n") {
+		t.Fatalf("escaped sample missing; got:\n%s", sb.String())
+	}
+	// The escaped line must still parse as one sample.
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if i := strings.LastIndexByte(line, ' '); i < 0 {
+			t.Errorf("sample line %q has no value separator", line)
+		} else if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Errorf("sample value in %q does not parse: %v", line, err)
+		}
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("help_total", "line one\nline \\two", Raw)
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `# HELP help_total line one\nline \\two`+"\n") {
+		t.Fatalf("HELP not escaped:\n%s", sb.String())
+	}
+}
+
+func TestNewSetRegistersAllFamilies(t *testing.T) {
+	set := NewSet()
+	var sb strings.Builder
+	if err := set.Registry.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, fam := range []string{
+		"subzero_queries_total",
+		"subzero_query_duration_seconds",
+		"subzero_query_steps_total",
+		"subzero_query_step_duration_seconds",
+		"subzero_query_cells_total",
+		"subzero_query_region_span_cells",
+		"subzero_query_fallbacks_total",
+		"subzero_query_operator_path_total",
+		"subzero_ingest_enqueue_stall_seconds",
+		"subzero_ingest_flush_seconds",
+		"subzero_ingest_batches_total",
+		"subzero_ingest_pairs_total",
+		"subzero_ingest_queue_depth",
+		"subzero_ingest_shard_busy_seconds_total",
+		"subzero_ingest_shard_pairs_total",
+		"subzero_kvstore_ops_total",
+		"subzero_kvstore_keys_total",
+		"subzero_kvstore_bytes_total",
+		"subzero_kvstore_get_batch_seconds",
+		"subzero_kvstore_put_batch_seconds",
+		"subzero_http_requests_total",
+		"subzero_http_request_duration_seconds",
+		"subzero_http_in_flight",
+		"subzero_http_shed_total",
+		"subzero_http_cancelled_total",
+	} {
+		if !strings.Contains(out, "# TYPE "+fam+" ") {
+			t.Errorf("family %s not registered", fam)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"strings"
+	"time"
+)
+
+// Span classes for per-step query tracing. These mirror the executor's
+// access-path families: the class is the prefix of a StepReport access
+// path ("store(FullOne<-)" -> "store"), plus "probe" for candidate
+// enumeration, which has no access path of its own.
+const (
+	SpanProbe       = "probe"
+	SpanEntireArray = "entire-array"
+	SpanMap         = "map"
+	SpanComposite   = "composite"
+	SpanStore       = "store"
+	SpanStoreScan   = "store-scan"
+	SpanReexec      = "reexec"
+	spanOther       = "other"
+)
+
+// spanObs couples the per-class step counter and latency histogram.
+type spanObs struct {
+	steps   *Counter
+	latency *Histogram
+}
+
+// QueryObs instruments the query executor: workload mix, latency by
+// direction, region locality, and per-step span tracing.
+type QueryObs struct {
+	// Backward and Forward count completed query executions by direction.
+	Backward *Counter
+	Forward  *Counter
+	// Latency holds per-direction query latency, indexed by
+	// query.Direction (0 backward, 1 forward).
+	Latency [2]*Histogram
+	// Cells counts queried cells; RegionSpan observes the linear extent
+	// (max cell - min cell + 1) of each query's region — the locality
+	// signal the adaptive optimizer consumes.
+	Cells      *Counter
+	RegionSpan *Histogram
+	// Steps and StepLatency trace path steps by span class; Fallbacks
+	// counts steps that abandoned materialized lineage for re-execution.
+	Steps       *CounterVec
+	StepLatency *HistogramVec
+	Fallbacks   *Counter
+	// OperatorHits counts (node, access path) pairs — per-operator
+	// strategy hit counts.
+	OperatorHits *CounterVec
+
+	// spans pre-resolves the common classes; read-only after newQueryObs,
+	// so RecordStep reads it without locks.
+	spans map[string]spanObs
+}
+
+func newQueryObs(r *Registry) QueryObs {
+	q := QueryObs{
+		Steps: r.NewCounterVec("subzero_query_steps_total",
+			"Query path steps executed, by span class.", Raw, "span"),
+		StepLatency: r.NewHistogramVec("subzero_query_step_duration_seconds",
+			"Latency of query path steps, by span class.", Nanos, "span"),
+		Cells: r.NewCounter("subzero_query_cells_total",
+			"Cells submitted across all lineage queries.", Raw),
+		RegionSpan: r.NewHistogram("subzero_query_region_span_cells",
+			"Linear extent (max-min+1 cell index) of each query region.", Raw),
+		Fallbacks: r.NewCounter("subzero_query_fallbacks_total",
+			"Query steps that fell back from materialized lineage to re-execution.", Raw),
+		OperatorHits: r.NewCounterVec("subzero_query_operator_path_total",
+			"Query step executions by workflow node and access path.", Raw, "node", "path"),
+	}
+	dirs := r.NewCounterVec("subzero_queries_total",
+		"Completed lineage queries, by direction.", Raw, "direction")
+	q.Backward = dirs.With1("backward")
+	q.Forward = dirs.With1("forward")
+	lat := r.NewHistogramVec("subzero_query_duration_seconds",
+		"Lineage query latency, by direction.", Nanos, "direction")
+	q.Latency[0] = lat.With1("backward")
+	q.Latency[1] = lat.With1("forward")
+	q.spans = make(map[string]spanObs)
+	for _, class := range []string{SpanProbe, SpanEntireArray, SpanMap,
+		SpanComposite, SpanStore, SpanStoreScan, SpanReexec, spanOther} {
+		q.spans[class] = spanObs{steps: q.Steps.With1(class), latency: q.StepLatency.With1(class)}
+	}
+	return q
+}
+
+// SpanClass reduces a step access-path label to its span class: the
+// prefix before the first '(' ("store(FullOne<-)+reexec" -> "store",
+// "reexec-conservative" -> "reexec").
+func SpanClass(accessPath string) string {
+	if i := strings.IndexByte(accessPath, '('); i >= 0 {
+		accessPath = accessPath[:i]
+	}
+	if accessPath == "reexec-conservative" {
+		return SpanReexec
+	}
+	return accessPath
+}
+
+// RecordStep records one executed path step: span class counters and
+// latency, the per-operator access-path hit, and the fallback counter.
+// At most one allocation (the composite node+path key).
+func (q *QueryObs) RecordStep(node, accessPath string, elapsed time.Duration, fellBack bool) {
+	class := SpanClass(accessPath)
+	so, ok := q.spans[class]
+	if !ok {
+		so = q.spans[spanOther]
+	}
+	so.steps.Inc()
+	so.latency.ObserveDuration(elapsed)
+	q.OperatorHits.With2(node, accessPath).Inc()
+	if fellBack {
+		q.Fallbacks.Inc()
+	}
+}
+
+// RecordProbe records a candidate-enumeration span.
+func (q *QueryObs) RecordProbe(elapsed time.Duration) {
+	so := q.spans[SpanProbe]
+	so.steps.Inc()
+	so.latency.ObserveDuration(elapsed)
+}
+
+// RecordQuery records a completed query: direction mix, latency, cell
+// count, and region extent (span = max-min+1 over the queried cells).
+func (q *QueryObs) RecordQuery(direction int, elapsed time.Duration, cells []uint64) {
+	if direction == 0 {
+		q.Backward.Inc()
+	} else {
+		q.Forward.Inc()
+	}
+	if direction < 0 || direction > 1 {
+		direction = 0
+	}
+	q.Latency[direction].ObserveDuration(elapsed)
+	q.Cells.Add(int64(len(cells)))
+	if len(cells) > 0 {
+		min, max := cells[0], cells[0]
+		for _, c := range cells[1:] {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		q.RegionSpan.Observe(int64(max-min) + 1)
+	}
+}
+
+// IngestObs instruments the sharded capture pipeline.
+type IngestObs struct {
+	// EnqueueStall observes the time Enqueue spent handing a batch to the
+	// shard queues — backpressure shows up here.
+	EnqueueStall *Histogram
+	// Flush observes drain-barrier latency (Writer.Flush waiting for the
+	// pipeline to empty).
+	Flush *Histogram
+	// Batches and Pairs count enqueued lineage batches and region pairs.
+	Batches *Counter
+	Pairs   *Counter
+	// QueueDepth tracks the most recently observed total queue depth.
+	QueueDepth *Gauge
+	// ShardBusy and ShardPairs break worker time and pair volume down by
+	// shard; the coordinator resolves per-shard series once at startup.
+	ShardBusy  *CounterVec
+	ShardPairs *CounterVec
+}
+
+func newIngestObs(r *Registry) IngestObs {
+	return IngestObs{
+		EnqueueStall: r.NewHistogram("subzero_ingest_enqueue_stall_seconds",
+			"Time operator threads spent enqueueing lineage batches (backpressure).", Nanos),
+		Flush: r.NewHistogram("subzero_ingest_flush_seconds",
+			"Drain-barrier latency waiting for the capture pipeline to empty.", Nanos),
+		Batches: r.NewCounter("subzero_ingest_batches_total",
+			"Lineage batches enqueued to the capture pipeline.", Raw),
+		Pairs: r.NewCounter("subzero_ingest_pairs_total",
+			"Region pairs enqueued to the capture pipeline.", Raw),
+		QueueDepth: r.NewGauge("subzero_ingest_queue_depth",
+			"Most recently observed total ingest queue depth, in batches."),
+		ShardBusy: r.NewCounterVec("subzero_ingest_shard_busy_seconds_total",
+			"Cumulative busy time of ingest shard workers.", Nanos, "shard"),
+		ShardPairs: r.NewCounterVec("subzero_ingest_shard_pairs_total",
+			"Region pairs processed per ingest shard.", Raw, "shard"),
+	}
+}
+
+// KVObs instruments the key-value store layer. The instrumented store
+// wrapper holds these pointers directly, so the lookup hot path pays only
+// atomic adds.
+type KVObs struct {
+	Gets         *Counter
+	GetBatches   *Counter
+	Puts         *Counter
+	PutBatches   *Counter
+	Scans        *Counter
+	KeysRead     *Counter
+	KeysWritten  *Counter
+	BytesRead    *Counter
+	BytesWritten *Counter
+	// GetBatchLatency and PutBatchLatency time whole batch calls,
+	// including value decode work done in the caller's callback.
+	GetBatchLatency *Histogram
+	PutBatchLatency *Histogram
+}
+
+func newKVObs(r *Registry) KVObs {
+	ops := r.NewCounterVec("subzero_kvstore_ops_total",
+		"Key-value store operations, by op.", Raw, "op")
+	keys := r.NewCounterVec("subzero_kvstore_keys_total",
+		"Keys read or written through the key-value store.", Raw, "dir")
+	bytes := r.NewCounterVec("subzero_kvstore_bytes_total",
+		"Value bytes read or written through the key-value store.", Raw, "dir")
+	return KVObs{
+		Gets:         ops.With1("get"),
+		GetBatches:   ops.With1("get_batch"),
+		Puts:         ops.With1("put"),
+		PutBatches:   ops.With1("put_batch"),
+		Scans:        ops.With1("scan"),
+		KeysRead:     keys.With1("read"),
+		KeysWritten:  keys.With1("written"),
+		BytesRead:    bytes.With1("read"),
+		BytesWritten: bytes.With1("written"),
+		GetBatchLatency: r.NewHistogram("subzero_kvstore_get_batch_seconds",
+			"Latency of batched key-value reads (the lineage lookup hot path).", Nanos),
+		PutBatchLatency: r.NewHistogram("subzero_kvstore_put_batch_seconds",
+			"Latency of batched key-value writes (lineage flush group commits).", Nanos),
+	}
+}
+
+// HTTPObs instruments the serving layer.
+type HTTPObs struct {
+	// Requests and Latency are labeled by route pattern; the server
+	// resolves each endpoint's series at registration time.
+	Requests *CounterVec
+	Latency  *HistogramVec
+	InFlight *Gauge
+	// Shed counts requests rejected by the capacity gate or drain;
+	// Cancelled counts requests abandoned by the client mid-flight.
+	Shed      *Counter
+	Cancelled *Counter
+}
+
+func newHTTPObs(r *Registry) HTTPObs {
+	return HTTPObs{
+		Requests: r.NewCounterVec("subzero_http_requests_total",
+			"HTTP requests served, by route.", Raw, "endpoint"),
+		Latency: r.NewHistogramVec("subzero_http_request_duration_seconds",
+			"HTTP request latency, by route.", Nanos, "endpoint"),
+		InFlight: r.NewGauge("subzero_http_in_flight",
+			"Requests currently being served."),
+		Shed: r.NewCounter("subzero_http_shed_total",
+			"Requests shed by the capacity gate or while draining.", Raw),
+		Cancelled: r.NewCounter("subzero_http_cancelled_total",
+			"Requests abandoned by the client before completion.", Raw),
+	}
+}
+
+// Set is the process-wide observability surface: every metric family the
+// serving and capture pipeline export, pre-registered in one Registry. A
+// System owns one Set; the server renders its Registry at /v1/metrics.
+type Set struct {
+	Registry *Registry
+	Query    QueryObs
+	Ingest   IngestObs
+	KV       KVObs
+	HTTP     HTTPObs
+}
+
+// NewSet builds a Set with every SubZero metric family registered.
+func NewSet() *Set {
+	r := NewRegistry()
+	return &Set{
+		Registry: r,
+		Query:    newQueryObs(r),
+		Ingest:   newIngestObs(r),
+		KV:       newKVObs(r),
+		HTTP:     newHTTPObs(r),
+	}
+}

@@ -80,7 +80,16 @@ func (e *Executor) executeStep(ctx context.Context, d Direction, st Step, cur *b
 		}
 	}
 
+	// Candidate probe span: enumerating access paths costs store metadata
+	// lookups and cost estimates, attributed separately from execution.
+	var probeStart time.Time
+	if e.obs != nil {
+		probeStart = time.Now()
+	}
 	cands := e.candidates(ctx, d, st, node, mc, cur, next, &report)
+	if e.obs != nil {
+		e.obs.RecordProbe(time.Since(probeStart))
+	}
 	chosen := cands[0]
 	if e.opts.Dynamic {
 		for _, c := range cands[1:] {
@@ -133,6 +142,9 @@ func (e *Executor) executeStep(ctx context.Context, d Direction, st Step, cur *b
 
 func (e *Executor) record(r StepReport, reexec bool) {
 	e.stats.RecordQueryStep(r.Node, int64(r.InCells), int64(r.OutCells), r.Elapsed, reexec)
+	if e.obs != nil {
+		e.obs.RecordStep(r.Node, r.AccessPath, r.Elapsed, r.FellBack)
+	}
 }
 
 // candidates enumerates the access paths available for a step, cheapest

@@ -27,6 +27,7 @@ import (
 	"subzero/internal/bitmap"
 	"subzero/internal/grid"
 	"subzero/internal/lineage"
+	"subzero/internal/obs"
 	"subzero/internal/workflow"
 )
 
@@ -113,6 +114,7 @@ type Executor struct {
 	run   *workflow.Run
 	stats *lineage.Collector
 	opts  Options
+	obs   *obs.QueryObs
 }
 
 // New creates an executor over a run. stats may be nil to skip collection.
@@ -121,6 +123,14 @@ func New(run *workflow.Run, stats *lineage.Collector, opts Options) *Executor {
 		stats = lineage.NewCollector()
 	}
 	return &Executor{run: run, stats: stats, opts: opts}
+}
+
+// WithObs attaches query metrics (workload mix, latency, per-step spans)
+// and returns the executor for chaining. A nil bundle leaves the executor
+// unobserved with zero overhead.
+func (e *Executor) WithObs(o *obs.QueryObs) *Executor {
+	e.obs = o
+	return e
 }
 
 // Validate checks that the query's path follows actual workflow edges and
@@ -237,5 +247,8 @@ func (e *Executor) Execute(ctx context.Context, q Query) (*Result, error) {
 	}
 	res.Bitmap = cur
 	res.Elapsed = time.Since(start)
+	if e.obs != nil {
+		e.obs.RecordQuery(int(q.Direction), res.Elapsed, q.Cells)
+	}
 	return res, nil
 }

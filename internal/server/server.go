@@ -29,11 +29,14 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"subzero"
 	"subzero/internal/kvstore"
+	"subzero/internal/obs"
 )
 
 // DefaultMaxInFlight bounds concurrently served heavy requests when the
@@ -55,8 +58,19 @@ type Config struct {
 	// query, query-batch, optimize, drop); excess requests are rejected
 	// with 503. <= 0 selects DefaultMaxInFlight.
 	MaxInFlight int
-	// Logger receives one line per request; nil disables request logging.
+	// Logger receives periodic summaries and slow-query lines; nil
+	// disables logging entirely.
 	Logger *log.Logger
+	// Obs is the metric set /v1/metrics exposes and the HTTP layer
+	// records into. Nil selects the System's own set, so serving metrics
+	// land in the same exposition as query/ingest/kvstore metrics.
+	Obs *obs.Set
+	// SlowQuery, when > 0, logs one structured line per lineage query
+	// whose end-to-end latency reaches the threshold.
+	SlowQuery time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiles expose internals and cost CPU to capture.
+	EnablePprof bool
 }
 
 // Metrics is a point-in-time snapshot of the serving counters.
@@ -71,12 +85,14 @@ type Metrics struct {
 
 // Server is the HTTP handler for the lineage service.
 type Server struct {
-	sys     *subzero.System
-	catalog *Catalog
-	mux     *http.ServeMux
-	sem     chan struct{}
-	logger  *log.Logger
-	started time.Time
+	sys       *subzero.System
+	catalog   *Catalog
+	mux       *http.ServeMux
+	sem       chan struct{}
+	logger    *log.Logger
+	obs       *obs.Set
+	slowQuery time.Duration
+	started   time.Time
 
 	draining atomic.Bool
 
@@ -99,44 +115,72 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = DefaultMaxInFlight
 	}
-	s := &Server{
-		sys:     cfg.System,
-		catalog: cfg.Catalog,
-		mux:     http.NewServeMux(),
-		sem:     make(chan struct{}, cfg.MaxInFlight),
-		logger:  cfg.Logger,
-		started: time.Now(),
+	if cfg.Obs == nil {
+		cfg.Obs = cfg.System.Observability()
 	}
-	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/workflows", s.handleWorkflows)
-	s.mux.HandleFunc("GET /v1/runs", s.handleListRuns)
-	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
-	s.mux.HandleFunc("POST /v1/runs", s.limited(s.handleExecute))
-	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.limited(s.handleDropRun))
-	s.mux.HandleFunc("POST /v1/runs/{id}/query", s.limited(s.handleQuery))
-	s.mux.HandleFunc("POST /v1/runs/{id}/query-batch", s.limited(s.handleQueryBatch))
-	s.mux.HandleFunc("POST /v1/runs/{id}/optimize", s.limited(s.handleOptimize))
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewSet()
+	}
+	s := &Server{
+		sys:       cfg.System,
+		catalog:   cfg.Catalog,
+		mux:       http.NewServeMux(),
+		sem:       make(chan struct{}, cfg.MaxInFlight),
+		logger:    cfg.Logger,
+		obs:       cfg.Obs,
+		slowQuery: cfg.SlowQuery,
+		started:   time.Now(),
+	}
+	s.handle("GET /v1/healthz", s.handleHealth)
+	s.handle("GET /v1/metrics", s.handleMetrics)
+	s.handle("GET /v1/stats", s.handleStats)
+	s.handle("GET /v1/workflows", s.handleWorkflows)
+	s.handle("GET /v1/runs", s.handleListRuns)
+	s.handle("GET /v1/runs/{id}", s.handleGetRun)
+	s.handle("POST /v1/runs", s.limited(s.handleExecute))
+	s.handle("DELETE /v1/runs/{id}", s.limited(s.handleDropRun))
+	s.handle("POST /v1/runs/{id}/query", s.limited(s.handleQuery))
+	s.handle("POST /v1/runs/{id}/query-batch", s.limited(s.handleQueryBatch))
+	s.handle("POST /v1/runs/{id}/optimize", s.limited(s.handleOptimize))
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, "no route for %s %s", r.Method, r.URL.Path)
 	})
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler with request accounting and logging.
+// handle registers a route with per-endpoint request counting and latency
+// histograms. The metric series are resolved once here, so the per-request
+// cost is two atomic updates — no label lookups on the hot path.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	requests := s.obs.HTTP.Requests.With1(pattern)
+	latency := s.obs.HTTP.Latency.With1(pattern)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		requests.Inc()
+		latency.ObserveSince(start)
+	})
+}
+
+// ServeHTTP implements http.Handler with request accounting. Individual
+// requests are not logged — latency lands in the per-endpoint histograms
+// (see Summary and /v1/metrics); only slow queries get their own line.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-	start := time.Now()
 	s.mux.ServeHTTP(rec, r)
 	switch {
 	case rec.status >= 500:
 		s.serverErrors.Add(1)
 	case rec.status >= 400:
 		s.clientErrors.Add(1)
-	}
-	if s.logger != nil {
-		s.logger.Printf("%s %s -> %d (%s)", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
 	}
 }
 
@@ -160,6 +204,27 @@ func (s *Server) MetricsSnapshot() Metrics {
 	}
 }
 
+// Summary returns a one-line serving digest for periodic logging: request
+// totals from the serving counters plus query latency quantiles pulled
+// from the observation histograms. Cheap enough to call every few seconds.
+func (s *Server) Summary() string {
+	m := s.MetricsSnapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests=%d inflight=%d shed=%d cancelled=%d 4xx=%d 5xx=%d",
+		m.Requests, m.InFlight, m.Rejected, m.Cancelled, m.ClientErrors, m.ServerErrors)
+	for i, class := range []string{"backward", "forward"} {
+		snap := s.obs.Query.Latency[i].Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, " | %s n=%d p50=%s p95=%s p99=%s", class, snap.Count,
+			time.Duration(snap.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(snap.Quantile(0.95)).Round(time.Microsecond),
+			time.Duration(snap.Quantile(0.99)).Round(time.Microsecond))
+	}
+	return b.String()
+}
+
 // statusRecorder captures the response status for logging and metrics.
 type statusRecorder struct {
 	http.ResponseWriter
@@ -177,6 +242,7 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
 			s.rejected.Add(1)
+			s.obs.HTTP.Shed.Inc()
 			s.writeError(w, http.StatusServiceUnavailable, "server is draining")
 			return
 		}
@@ -184,13 +250,16 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 		case s.sem <- struct{}{}:
 		default:
 			s.rejected.Add(1)
+			s.obs.HTTP.Shed.Inc()
 			w.Header().Set("Retry-After", "1")
 			s.writeError(w, http.StatusServiceUnavailable, "server at capacity (%d requests in flight)", cap(s.sem))
 			return
 		}
 		s.inFlight.Add(1)
+		s.obs.HTTP.InFlight.Add(1)
 		defer func() {
 			s.inFlight.Add(-1)
+			s.obs.HTTP.InFlight.Add(-1)
 			<-s.sem
 		}()
 		h(w, r)
@@ -216,6 +285,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, status, health)
 }
 
+// handleMetrics serves the full metric set in Prometheus text exposition
+// format 0.0.4 — hand-rolled, no client library involved.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.obs.Registry.WriteProm(w); err != nil && s.logger != nil {
+		s.logger.Printf("write metrics: %v", err)
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	all := s.sys.AllStats()
 	ops := make([]subzero.WireOpStats, len(all))
@@ -237,6 +315,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ClientErrors: m.ClientErrors,
 			ServerErrors: m.ServerErrors,
 		},
+		Workload: subzero.NewWireWorkloadProfile(s.obs),
 	})
 }
 
@@ -340,6 +419,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeSystemError(w, r, err)
 		return
 	}
+	s.logSlowQuery(run.ID, q, res)
 	s.writeJSON(w, http.StatusOK, subzero.NewWireQueryResult(res))
 }
 
@@ -374,6 +454,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	// cancelled request even though QueryBatch itself returned no error.
 	if ctxErr := r.Context().Err(); ctxErr != nil && br.Report.Failed == br.Report.Queries {
 		s.cancelled.Add(1)
+		s.obs.HTTP.Cancelled.Inc()
 	}
 	resp := subzero.WireBatchResponse{
 		Results: make([]*subzero.WireQueryResult, len(queries)),
@@ -385,9 +466,30 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Errors[i] = br.Errs[i].Error()
 			continue
 		}
+		s.logSlowQuery(run.ID, queries[i], br.Results[i])
 		resp.Results[i] = subzero.NewWireQueryResult(br.Results[i])
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// logSlowQuery emits one structured line for a query whose latency reached
+// the slow-query threshold, including the access path every step took —
+// enough to see which operator and strategy dragged without re-running
+// the query under a profiler.
+func (s *Server) logSlowQuery(runID string, q subzero.Query, res *subzero.QueryResult) {
+	if s.slowQuery <= 0 || s.logger == nil || res == nil || res.Elapsed < s.slowQuery {
+		return
+	}
+	var steps strings.Builder
+	for i, st := range res.Steps {
+		if i > 0 {
+			steps.WriteByte(',')
+		}
+		fmt.Fprintf(&steps, "%s[%d]:%s:%s", st.Node, st.InputIdx, st.AccessPath,
+			st.Elapsed.Round(time.Microsecond))
+	}
+	s.logger.Printf("slow-query run=%s direction=%s cells=%d elapsed=%s steps=%s",
+		runID, q.Direction, len(q.Cells), res.Elapsed.Round(time.Microsecond), steps.String())
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
@@ -480,6 +582,7 @@ const StatusClientClosedRequest = 499
 // abortCancelled accounts for a request whose client went away mid-query.
 func (s *Server) abortCancelled(w http.ResponseWriter, r *http.Request, err error) {
 	s.cancelled.Add(1)
+	s.obs.HTTP.Cancelled.Inc()
 	s.writeError(w, StatusClientClosedRequest, "request cancelled: %v", err)
 }
 

@@ -11,6 +11,7 @@ import (
 	"subzero/internal/grid"
 	"subzero/internal/kvstore"
 	"subzero/internal/lineage"
+	"subzero/internal/obs"
 )
 
 // Plan assigns each node the lineage strategies it stores — the output of
@@ -67,6 +68,10 @@ func (e *Executor) SetIngest(cfg lineage.IngestConfig) { e.ingestCfg = cfg }
 
 // IngestConfig returns the configured ingest pipeline parameters.
 func (e *Executor) IngestConfig() lineage.IngestConfig { return e.ingestCfg }
+
+// SetObs mirrors the executor's ingest counters into the process-wide
+// metric registry. Call before Execute, alongside SetIngest.
+func (e *Executor) SetObs(o *obs.IngestObs) { e.ingestMetrics.SetObs(o) }
 
 // IngestSnapshot returns the aggregated ingest pipeline counters across
 // all runs executed so far.

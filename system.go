@@ -11,6 +11,7 @@ import (
 	"subzero/internal/array"
 	"subzero/internal/kvstore"
 	"subzero/internal/lineage"
+	"subzero/internal/obs"
 	"subzero/internal/ops"
 	"subzero/internal/opt"
 	"subzero/internal/query"
@@ -34,6 +35,7 @@ type System struct {
 	exec     *workflow.Executor
 	qopts    query.Options
 	par      int
+	obs      *obs.Set
 
 	mu       sync.RWMutex
 	runs     map[string]*workflow.Run
@@ -95,10 +97,16 @@ func NewSystem(options ...Option) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Observability is always on: the metric set is a few hundred atomics,
+	// and attaching it before the first store opens means every layer —
+	// kvstore I/O, ingest shards, query spans — reports into one registry.
+	obsSet := obs.NewSet()
+	mgr.SetMetrics(&obsSet.KV)
 	versions := array.NewVersions()
 	stats := lineage.NewCollector()
 	exec := workflow.NewExecutor(versions, mgr, stats)
 	exec.SetIngest(cfg.ingest)
+	exec.SetObs(&obsSet.Ingest)
 	return &System{
 		versions: versions,
 		manager:  mgr,
@@ -106,6 +114,7 @@ func NewSystem(options ...Option) (*System, error) {
 		exec:     exec,
 		qopts:    cfg.qopts,
 		par:      cfg.parallelism,
+		obs:      obsSet,
 		runs:     make(map[string]*workflow.Run),
 	}, nil
 }
@@ -222,7 +231,7 @@ func (s *System) QueryWith(ctx context.Context, run RunRef, q Query, opts QueryO
 	if err != nil {
 		return nil, err
 	}
-	return query.New(r, s.stats, opts).Execute(ctx, q)
+	return query.New(r, s.stats, opts).WithObs(&s.obs.Query).Execute(ctx, q)
 }
 
 // BatchReport aggregates one QueryBatch call.
@@ -282,7 +291,7 @@ func (s *System) QueryBatch(ctx context.Context, run RunRef, queries []Query, op
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				br.Results[i], br.Errs[i] = query.New(r, s.stats, opts).Execute(ctx, queries[i])
+				br.Results[i], br.Errs[i] = query.New(r, s.stats, opts).WithObs(&s.obs.Query).Execute(ctx, queries[i])
 			}
 		}()
 	}
@@ -353,6 +362,12 @@ func (s *System) IngestSnapshot() IngestSnapshot { return s.exec.IngestSnapshot(
 
 // ArrayBytes returns the footprint of the versioned array store.
 func (s *System) ArrayBytes() int64 { return s.versions.TotalBytes() }
+
+// Observability returns the system's metric set: every query, ingest, and
+// kvstore family this instance reports. The serving layer registers its
+// HTTP families in the same set and renders the whole registry at
+// /v1/metrics.
+func (s *System) Observability() *obs.Set { return s.obs }
 
 // Versions exposes the no-overwrite array store.
 func (s *System) Versions() *array.Versions { return s.versions }

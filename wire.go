@@ -12,8 +12,11 @@ package subzero
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
+
+	"subzero/internal/obs"
 )
 
 // ---------------------------------------------------------------------
@@ -457,7 +460,10 @@ type WireIngestStats struct {
 	Pairs          int64   `json:"pairs"`
 	QueueHighWater int     `json:"queue_high_water"`
 	EncodeNS       int64   `json:"encode_ns"`
-	FlushNS        int64   `json:"flush_ns"`
+	FlushNS        int64   `json:"flush_ns"` // summed drain-barrier latency (legacy name, kept stable)
+	FlushMinNS     int64   `json:"flush_min_ns"`
+	FlushAvgNS     int64   `json:"flush_avg_ns"`
+	FlushMaxNS     int64   `json:"flush_max_ns"`
 	Flushes        int64   `json:"flushes"`
 	ShardPairs     []int64 `json:"shard_pairs,omitempty"`
 	ShardBusyNS    []int64 `json:"shard_busy_ns,omitempty"`
@@ -473,6 +479,9 @@ func NewWireIngestStats(s IngestSnapshot) WireIngestStats {
 		QueueHighWater: s.QueueHighWater,
 		EncodeNS:       s.EncodeTime.Nanoseconds(),
 		FlushNS:        s.FlushTime.Nanoseconds(),
+		FlushMinNS:     s.FlushMin.Nanoseconds(),
+		FlushAvgNS:     s.FlushAvg.Nanoseconds(),
+		FlushMaxNS:     s.FlushMax.Nanoseconds(),
 		Flushes:        s.Flushes,
 	}
 	if len(s.ShardPairs) > 0 {
@@ -485,14 +494,94 @@ func NewWireIngestStats(s IngestSnapshot) WireIngestStats {
 	return out
 }
 
+// WireQueryClassProfile summarizes one query class's latency
+// distribution (quantiles interpolated from the obs histogram buckets).
+type WireQueryClassProfile struct {
+	Class  string `json:"class"` // "backward" or "forward"
+	Count  int64  `json:"count"`
+	MeanNS int64  `json:"mean_ns"`
+	P50NS  int64  `json:"p50_ns"`
+	P95NS  int64  `json:"p95_ns"`
+	P99NS  int64  `json:"p99_ns"`
+}
+
+// WireOperatorProfile is one workflow node's access-path hit counts:
+// how often each path ("store(FullOne<-)", "map", "reexec", ...) actually
+// served a query step against this operator.
+type WireOperatorProfile struct {
+	Node string           `json:"node"`
+	Hits map[string]int64 `json:"hits"`
+}
+
+// WireWorkloadProfile is the live workload picture a future adaptive
+// optimizer consumes: the backward/forward mix, per-class latency
+// quantiles, region locality, and per-operator strategy hit counts.
+type WireWorkloadProfile struct {
+	BackwardQueries int64                   `json:"backward_queries"`
+	ForwardQueries  int64                   `json:"forward_queries"`
+	QueryCells      int64                   `json:"query_cells"`
+	Fallbacks       int64                   `json:"fallbacks"`
+	RegionSpanP50   int64                   `json:"region_span_p50_cells"`
+	RegionSpanP95   int64                   `json:"region_span_p95_cells"`
+	RegionSpanP99   int64                   `json:"region_span_p99_cells"`
+	Classes         []WireQueryClassProfile `json:"classes"`
+	Operators       []WireOperatorProfile   `json:"operators,omitempty"`
+}
+
+// NewWireWorkloadProfile builds the profile from a system's metric set.
+func NewWireWorkloadProfile(set *obs.Set) WireWorkloadProfile {
+	var p WireWorkloadProfile
+	if set == nil {
+		return p
+	}
+	q := &set.Query
+	p.BackwardQueries = q.Backward.Load()
+	p.ForwardQueries = q.Forward.Load()
+	p.QueryCells = q.Cells.Load()
+	p.Fallbacks = q.Fallbacks.Load()
+	region := q.RegionSpan.Snapshot()
+	p.RegionSpanP50 = region.Quantile(0.50)
+	p.RegionSpanP95 = region.Quantile(0.95)
+	p.RegionSpanP99 = region.Quantile(0.99)
+	for i, class := range []string{WireBackward, WireForward} {
+		snap := q.Latency[i].Snapshot()
+		p.Classes = append(p.Classes, WireQueryClassProfile{
+			Class:  class,
+			Count:  snap.Count,
+			MeanNS: snap.Mean(),
+			P50NS:  snap.Quantile(0.50),
+			P95NS:  snap.Quantile(0.95),
+			P99NS:  snap.Quantile(0.99),
+		})
+	}
+	byNode := make(map[string]map[string]int64)
+	q.OperatorHits.Each(func(values []string, count int64) {
+		node, path := values[0], values[1]
+		if byNode[node] == nil {
+			byNode[node] = make(map[string]int64)
+		}
+		byNode[node][path] += count
+	})
+	nodes := make([]string, 0, len(byNode))
+	for node := range byNode {
+		nodes = append(nodes, node)
+	}
+	sort.Strings(nodes)
+	for _, node := range nodes {
+		p.Operators = append(p.Operators, WireOperatorProfile{Node: node, Hits: byNode[node]})
+	}
+	return p
+}
+
 // WireStats is the body of GET /v1/stats.
 type WireStats struct {
-	Runs         int               `json:"runs"`
-	LineageBytes int64             `json:"lineage_bytes"`
-	ArrayBytes   int64             `json:"array_bytes"`
-	Ops          []WireOpStats     `json:"ops,omitempty"`
-	Ingest       WireIngestStats   `json:"ingest"`
-	Server       WireServerMetrics `json:"server"`
+	Runs         int                 `json:"runs"`
+	LineageBytes int64               `json:"lineage_bytes"`
+	ArrayBytes   int64               `json:"array_bytes"`
+	Ops          []WireOpStats       `json:"ops,omitempty"`
+	Ingest       WireIngestStats     `json:"ingest"`
+	Server       WireServerMetrics   `json:"server"`
+	Workload     WireWorkloadProfile `json:"workload"`
 }
 
 // WireHealth is the body of GET /v1/healthz.

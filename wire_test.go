@@ -114,3 +114,67 @@ func TestWireConstraintsRoundTrip(t *testing.T) {
 		t.Fatalf("round trip mangled constraints: %+v != %+v", back, c)
 	}
 }
+
+// TestWireIngestStatsJSONCompat pins the JSON field names of
+// WireIngestStats: the legacy keys must survive the min/avg/max widening
+// so existing scrapers keep working.
+func TestWireIngestStatsJSONCompat(t *testing.T) {
+	snap := subzero.IngestSnapshot{
+		Shards:         4,
+		Depth:          64,
+		Batches:        10,
+		Pairs:          1000,
+		QueueHighWater: 7,
+		EncodeTime:     5 * time.Millisecond,
+		FlushTime:      9 * time.Millisecond,
+		FlushMin:       1 * time.Millisecond,
+		FlushAvg:       3 * time.Millisecond,
+		FlushMax:       6 * time.Millisecond,
+		Flushes:        3,
+	}
+	blob, err := json.Marshal(subzero.NewWireIngestStats(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(blob, &raw); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		// Legacy keys, pinned since the first wire version.
+		"shards": 4, "depth": 64, "batches": 10, "pairs": 1000,
+		"queue_high_water": 7, "encode_ns": 5e6, "flush_ns": 9e6, "flushes": 3,
+		// Widened flush latency.
+		"flush_min_ns": 1e6, "flush_avg_ns": 3e6, "flush_max_ns": 6e6,
+	}
+	for key, val := range want {
+		got, ok := raw[key].(float64)
+		if !ok {
+			t.Fatalf("key %q missing or non-numeric in %s", key, blob)
+		}
+		if got != val {
+			t.Fatalf("key %q = %v, want %v", key, got, val)
+		}
+	}
+}
+
+func TestWireWorkloadProfileEmpty(t *testing.T) {
+	p := subzero.NewWireWorkloadProfile(nil)
+	if p.BackwardQueries != 0 || p.ForwardQueries != 0 || len(p.Classes) != 0 || len(p.Operators) != 0 {
+		t.Fatalf("nil set produced non-zero profile: %+v", p)
+	}
+	blob, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(blob, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"backward_queries", "forward_queries", "query_cells",
+		"fallbacks", "region_span_p50_cells", "region_span_p95_cells", "region_span_p99_cells", "classes"} {
+		if _, ok := raw[key]; !ok {
+			t.Fatalf("key %q missing in %s", key, blob)
+		}
+	}
+}
