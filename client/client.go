@@ -20,6 +20,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"subzero"
 )
@@ -69,6 +70,25 @@ func IsNotFound(err error) bool {
 	return errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound
 }
 
+type traceparentKey struct{}
+
+// WithTraceparent returns a context carrying a W3C traceparent header
+// value. Every request issued with the returned context propagates the
+// header, so server-side spans join the caller's trace and the retained
+// trace on the server shares the caller's trace ID. An empty header
+// returns ctx unchanged.
+func WithTraceparent(ctx context.Context, header string) context.Context {
+	if header == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceparentKey{}, header)
+}
+
+func traceparentFrom(ctx context.Context) string {
+	s, _ := ctx.Value(traceparentKey{}).(string)
+	return s
+}
+
 // do issues one request and decodes the response into out (unless out is
 // nil). Non-2xx responses become *APIError, preserving the server's
 // structured message when present.
@@ -87,6 +107,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if tp := traceparentFrom(ctx); tp != "" {
+		req.Header.Set("Traceparent", tp)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -152,6 +175,9 @@ func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: build request: %w", err)
 	}
+	if tp := traceparentFrom(ctx); tp != "" {
+		req.Header.Set("Traceparent", tp)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: GET /v1/metrics: %w", err)
@@ -173,8 +199,12 @@ func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
 }
 
 // ParseExposition parses Prometheus text-format samples into a map keyed
-// by `name{labels}` (or bare name when unlabeled). The value separator is
-// the LAST space on the line: label values may themselves contain spaces.
+// by `name{labels}` (or bare name when unlabeled). The key ends at the
+// label set's closing brace — found by scanning, so label values may
+// contain spaces, escaped quotes, and escaped backslashes — and the value
+// is the first field after it; trailing fields (timestamps, OpenMetrics
+// exemplars) are ignored. A body without a trailing newline parses the
+// same as one with it.
 func ParseExposition(text string) (map[string]float64, error) {
 	out := make(map[string]float64)
 	for lineNo, line := range strings.Split(text, "\n") {
@@ -182,12 +212,25 @@ func ParseExposition(text string) (map[string]float64, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		cut := strings.LastIndexByte(line, ' ')
-		if cut <= 0 {
+		var cut int
+		if open := strings.IndexByte(line, '{'); open >= 0 {
+			end, ok := endOfLabels(line, open)
+			if !ok {
+				return nil, fmt.Errorf("client: metrics line %d: unterminated label set: %q", lineNo+1, line)
+			}
+			cut = end
+		} else {
+			cut = strings.IndexAny(line, " \t")
+		}
+		if cut <= 0 || cut >= len(line) {
 			return nil, fmt.Errorf("client: metrics line %d: no value separator: %q", lineNo+1, line)
 		}
-		key, val := line[:cut], line[cut+1:]
-		f, err := parsePromValue(val)
+		key := line[:cut]
+		rest := strings.TrimLeft(line[cut:], " \t")
+		if k := strings.IndexAny(rest, " \t"); k >= 0 {
+			rest = rest[:k]
+		}
+		f, err := parsePromValue(rest)
 		if err != nil {
 			return nil, fmt.Errorf("client: metrics line %d: %w", lineNo+1, err)
 		}
@@ -196,18 +239,93 @@ func ParseExposition(text string) (map[string]float64, error) {
 	return out, nil
 }
 
+// endOfLabels returns the index just past the '}' closing the label set
+// opened at open, honoring quoted label values with \" and \\ escapes.
+func endOfLabels(line string, open int) (int, bool) {
+	inQuote, escaped := false, false
+	for j := open + 1; j < len(line); j++ {
+		c := line[j]
+		switch {
+		case escaped:
+			escaped = false
+		case inQuote && c == '\\':
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case !inQuote && c == '}':
+			return j + 1, true
+		}
+	}
+	return 0, false
+}
+
 func parsePromValue(s string) (float64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty sample value")
+	}
 	switch s {
 	case "+Inf":
 		return math.Inf(1), nil
 	case "-Inf":
 		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
 	}
 	f, err := strconv.ParseFloat(s, 64)
 	if err != nil {
 		return 0, fmt.Errorf("bad sample value %q: %w", s, err)
 	}
 	return f, nil
+}
+
+// TraceListOptions filters GET /v1/traces. The zero value lists the most
+// recent traces with the server's default limit.
+type TraceListOptions struct {
+	Run         string        // only traces touching this run ID
+	Direction   string        // "backward" or "forward"
+	MinDuration time.Duration // only traces at least this long end-to-end
+	SlowOnly    bool          // only traces pinned by the slow threshold
+	Limit       int           // max summaries returned (server default 100)
+}
+
+// Traces lists retained trace summaries, newest first (GET /v1/traces).
+func (c *Client) Traces(ctx context.Context, opts TraceListOptions) ([]subzero.WireTraceSummary, error) {
+	q := url.Values{}
+	if opts.Run != "" {
+		q.Set("run", opts.Run)
+	}
+	if opts.Direction != "" {
+		q.Set("direction", opts.Direction)
+	}
+	if opts.MinDuration > 0 {
+		q.Set("min_duration_ns", strconv.FormatInt(opts.MinDuration.Nanoseconds(), 10))
+	}
+	if opts.SlowOnly {
+		q.Set("slow", "true")
+	}
+	if opts.Limit > 0 {
+		q.Set("limit", strconv.Itoa(opts.Limit))
+	}
+	path := "/v1/traces"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out []subzero.WireTraceSummary
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Trace fetches one retained trace as a full span tree by its 32-hex-char
+// trace ID (GET /v1/traces/{id}). A trace that was never sampled or has
+// been evicted surfaces as an *APIError with status 404.
+func (c *Client) Trace(ctx context.Context, id string) (*subzero.WireTrace, error) {
+	var out subzero.WireTrace
+	if err := c.do(ctx, http.MethodGet, "/v1/traces/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Workflows lists the server's executable workflow catalog.

@@ -1,0 +1,130 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"subzero"
+	"subzero/client"
+)
+
+func TestParseExpositionEdgeCases(t *testing.T) {
+	body := strings.Join([]string{
+		`# HELP m_total a counter`,
+		`# TYPE m_total counter`,
+		`m_total 3`,
+		`m_total{direction="backward"} 7`,
+		// Label values with spaces, escaped quotes, and escaped
+		// backslashes: the key must end at the real closing brace.
+		`m_msg{text="a b"} 1`,
+		`m_msg{text="say \"hi\" twice"} 2`,
+		`m_msg{path="C:\\temp\\x"} 3`,
+		`m_msg{text="brace \"}\" inside"} 4`,
+		// Non-finite samples.
+		`m_nan NaN`,
+		`m_bucket{le="+Inf"} 42`,
+		`m_inf +Inf`,
+		`m_neg_inf -Inf`,
+		// Optional trailing timestamp is ignored, not glued to the key.
+		`m_ts 5 1700000000000`,
+		`m_ts_labeled{x="y"} 6 1700000000000`,
+		// OpenMetrics exemplar suffix is ignored too.
+		`m_ex_bucket{le="0.1"} 9 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 1e-07`,
+		`# EOF`,
+	}, "\n") // deliberately no trailing newline
+
+	got, err := client.ParseExposition(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		`m_total`:                          3,
+		`m_total{direction="backward"}`:    7,
+		`m_msg{text="a b"}`:                1,
+		`m_msg{text="say \"hi\" twice"}`:   2,
+		`m_msg{path="C:\\temp\\x"}`:        3,
+		`m_msg{text="brace \"}\" inside"}`: 4,
+		`m_bucket{le="+Inf"}`:              42,
+		`m_inf`:                            math.Inf(1),
+		`m_neg_inf`:                        math.Inf(-1),
+		`m_ts`:                             5,
+		`m_ts_labeled{x="y"}`:              6,
+		`m_ex_bucket{le="0.1"}`:            9,
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("sample %q = %v, want %v", k, got[k], v)
+		}
+	}
+	if !math.IsNaN(got["m_nan"]) {
+		t.Errorf("m_nan = %v, want NaN", got["m_nan"])
+	}
+	if len(got) != len(want)+1 { // +1 for the NaN sample
+		t.Errorf("parsed %d samples, want %d: %v", len(got), len(want)+1, got)
+	}
+}
+
+func TestParseExpositionErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"unterminated labels", `m{text="no close 1`},
+		{"missing value", `m_alone`},
+		{"missing value after labels", `m{x="y"}`},
+		{"garbage value", `m not-a-number`},
+	}
+	for _, tc := range cases {
+		if _, err := client.ParseExposition(tc.body); err == nil {
+			t.Errorf("%s: parsed %q without error", tc.name, tc.body)
+		}
+	}
+}
+
+// TestWithTraceparentPropagates asserts every client request issued with
+// a traceparent-carrying context sends the header, including the raw
+// /v1/metrics fetch that bypasses do().
+func TestWithTraceparentPropagates(t *testing.T) {
+	const tp = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	var got []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = append(got, r.Header.Get("Traceparent"))
+		if strings.HasSuffix(r.URL.Path, "/metrics") {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			w.Write([]byte("m_total 1\n"))
+			return
+		}
+		json.NewEncoder(w).Encode(subzero.WireHealth{Status: "ok"})
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL)
+	ctx := client.WithTraceparent(context.Background(), tp)
+	if _, err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Metrics(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("requests seen: %d, want 2", len(got))
+	}
+	for i, h := range got {
+		if h != tp {
+			t.Errorf("request %d traceparent = %q, want %q", i, h, tp)
+		}
+	}
+	// Without the helper the header is absent.
+	got = nil
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != "" {
+		t.Errorf("unexpected traceparent %q on plain context", got[0])
+	}
+}

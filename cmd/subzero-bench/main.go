@@ -13,6 +13,9 @@
 //	                      sharded asynchronous ingest (-ingest-shards)
 //	subzero-bench obs     observability snapshot: ingest stall/flush and
 //	                      query/kvstore latency histograms under load
+//	subzero-bench trace   end-to-end tracing overhead on the backward
+//	                      lookup, span trees off vs on, plus retention
+//	                      counters
 //	subzero-bench all     everything above
 //
 // Absolute numbers differ from the 2013 Python/BerkeleyDB prototype; the
@@ -115,7 +118,7 @@ func run(args []string) error {
 		opts.microSize = 300
 	}
 	if fs.NArg() < 1 {
-		return fmt.Errorf("usage: subzero-bench [flags] fig5a|fig5b|fig6a|fig6b|fig6c|fig7|fig8|fig9|capture|all")
+		return fmt.Errorf("usage: subzero-bench [flags] fig5a|fig5b|fig6a|fig6b|fig6c|fig7|fig8|fig9|capture|obs|trace|all")
 	}
 	// Ctrl-C cancels the in-flight workflow or query via the v2 context-
 	// aware API.
@@ -126,10 +129,10 @@ func run(args []string) error {
 		"fig5a": fig5a, "fig5b": fig5b,
 		"fig6a": fig6a, "fig6b": fig6b, "fig6c": fig6c,
 		"fig7": fig7, "fig8": fig8, "fig9": fig9,
-		"capture": capture, "obs": obsFigure,
+		"capture": capture, "obs": obsFigure, "trace": traceFigure,
 	}
 	if cmd == "all" {
-		for _, name := range []string{"fig5a", "fig5b", "fig6a", "fig6b", "fig6c", "fig7", "fig8", "fig9", "capture", "obs"} {
+		for _, name := range []string{"fig5a", "fig5b", "fig6a", "fig6b", "fig6c", "fig7", "fig8", "fig9", "capture", "obs", "trace"} {
 			if err := runners[name](ctx, opts); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"subzero/internal/benchfmt"
+	"subzero/internal/microbench"
+	"subzero/internal/trace"
+)
+
+// traceFigure measures end-to-end tracing overhead on the microbenchmark
+// backward-lookup workload: the same fixture is queried with tracing off
+// (no span in the context — the allocation-free idle path) and with an
+// always-sample tracer growing a full span tree per query. The table also
+// reports the tracer's retention counters, so a run doubles as a sanity
+// check that every sampled trace lands in the ring.
+func traceFigure(ctx context.Context, opts options) error {
+	cfg := microbench.DefaultConfig()
+	cfg.Rows, cfg.Cols = opts.microSize, opts.microSize
+	cfg.Fanin, cfg.Fanout = 25, 4
+	fmt.Printf("tracing overhead: %dx%d array, fanin=%d fanout=%d, strategy <-FullOne\n\n",
+		cfg.Rows, cfg.Cols, cfg.Fanin, cfg.Fanout)
+	f, err := microbench.NewFixture(ctx, cfg, "<-FullOne", opts.dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	const rounds = 200
+	measure := func(tr *trace.Tracer) (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			sp := tr.StartRequest("bench backward", "")
+			if _, err := f.Backward(trace.ContextWithSpan(ctx, sp)); err != nil {
+				return 0, err
+			}
+			sp.End()
+		}
+		return time.Since(start) / rounds, nil
+	}
+
+	off, err := measure(nil)
+	if err != nil {
+		return err
+	}
+	tr := trace.New(trace.Config{Sample: 1})
+	on, err := measure(tr)
+	if err != nil {
+		return err
+	}
+
+	t := benchfmt.NewTable("Tracing: backward lookup, span trees off vs on",
+		"mode", "mean/op", "overhead")
+	t.AddRow("off", off, "-")
+	t.AddRow("on", on, fmt.Sprintf("%+.1f%%", 100*(float64(on)/float64(off)-1)))
+	render(t)
+
+	snap := tr.Snapshot()
+	st := benchfmt.NewTable("Tracing: retention counters (traced mode)",
+		"counter", "value")
+	st.AddRow("started", snap.Started)
+	st.AddRow("sampled", snap.Sampled)
+	st.AddRow("retained", snap.Retained)
+	st.AddRow("slow", snap.Slow)
+	st.AddRow("truncated", snap.Truncated)
+	st.AddRow("late", snap.Late)
+	render(st)
+	if snap.Sampled != rounds {
+		return fmt.Errorf("trace: sampled %d of %d requests at sample=1", snap.Sampled, rounds)
+	}
+	return nil
+}

@@ -6,13 +6,17 @@
 //
 //	subzero-serve [-addr :8080] [-dir /var/lib/subzero] [-parallelism 8]
 //	              [-max-inflight 64] [-drain-timeout 30s] [-quiet]
-//	              [-log-interval 30s] [-slow-query 250ms] [-pprof]
+//	              [-log-interval 30s] [-slow-query 250ms]
+//	              [-trace-sample 1.0] [-trace-retain 256] [-pprof]
 //
 // Observability: metrics are exposed in Prometheus text format at
-// GET /v1/metrics; the daemon logs a one-line serving summary every
-// -log-interval (quiet mode disables it) plus one structured line per
-// query slower than -slow-query; -pprof mounts net/http/pprof under
-// /debug/pprof/.
+// GET /v1/metrics (OpenMetrics with exemplars under content negotiation);
+// every request grows a span tree sampled at -trace-sample, retained in a
+// ring of -trace-retain completed traces, and served at GET /v1/traces;
+// queries slower than -slow-query are always retained and logged as one
+// structured slog record carrying the trace ID. The daemon logs a
+// one-line serving summary every -log-interval (quiet mode disables it);
+// -pprof mounts net/http/pprof under /debug/pprof/.
 //
 // Ctrl-C (or SIGTERM) drains: the health check flips to "draining", new
 // heavy requests are shed with 503, and in-flight queries run to
@@ -26,7 +30,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -35,6 +39,7 @@ import (
 
 	"subzero"
 	"subzero/internal/server"
+	"subzero/internal/trace"
 )
 
 func main() {
@@ -54,11 +59,13 @@ func run() error {
 	ingestShards := flag.Int("ingest-shards", 0, "lineage ingest shard workers per run (<=1 keeps capture synchronous)")
 	ingestDepth := flag.Int("ingest-depth", 0, "per-shard ingest queue depth in batches (default 8)")
 	logInterval := flag.Duration("log-interval", 30*time.Second, "period between serving summary log lines (<=0 disables)")
-	slowQuery := flag.Duration("slow-query", 0, "log one structured line per lineage query at least this slow (0 disables)")
+	slowQuery := flag.Duration("slow-query", 0, "log one structured record per lineage query at least this slow and pin its trace (0 disables)")
+	traceSample := flag.Float64("trace-sample", 1.0, "head-based trace sampling probability in [0,1]; sampled inbound traceparents are always traced")
+	traceRetain := flag.Int("trace-retain", 0, "completed traces kept for /v1/traces (default 256; slow traces keep a separate quarter-size ring)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "subzero-serve: ", log.LstdFlags)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	var opts []subzero.Option
 	if *dir != "" {
@@ -80,11 +87,17 @@ func run() error {
 	if *quiet {
 		reqLogger = nil
 	}
+	traceCfg := trace.Config{Sample: *traceSample, Slow: *slowQuery}
+	if *traceRetain > 0 {
+		traceCfg.Capacity = *traceRetain
+		traceCfg.SlowCapacity = max(*traceRetain/4, 1)
+	}
 	srv, err := server.New(server.Config{
 		System:      sys,
 		MaxInFlight: *maxInFlight,
 		Logger:      reqLogger,
 		SlowQuery:   *slowQuery,
+		Tracer:      trace.New(traceCfg),
 		EnablePprof: *pprofOn,
 	})
 	if err != nil {
@@ -105,7 +118,7 @@ func run() error {
 				case <-ctx.Done():
 					return
 				case <-ticker.C:
-					logger.Printf("summary: %s", srv.Summary())
+					logger.Info("summary", "stats", srv.Summary())
 				}
 			}
 		}()
@@ -115,7 +128,11 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("serving on %s (store=%s, max in-flight %d)", *addr, storeDesc(*dir), *maxInFlight)
+		logger.Info("serving",
+			"addr", *addr,
+			"store", storeDesc(*dir),
+			"max_inflight", *maxInFlight,
+			"trace_sample", *traceSample)
 		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return
@@ -131,17 +148,17 @@ func run() error {
 
 	// Graceful drain: stop advertising health, shed new work, let active
 	// queries finish.
-	logger.Printf("signal received; draining (timeout %s)", *drainTimeout)
+	logger.Info("signal received; draining", "timeout", *drainTimeout)
 	srv.Drain()
 	// Derive from the signal context without inheriting its cancellation:
 	// it has already fired, and the drain deadline must outlive it.
 	shutdownCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), *drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
-		logger.Printf("drain incomplete: %v; closing", err)
+		logger.Warn("drain incomplete; closing", "err", err)
 		hs.Close()
 	}
-	logger.Printf("final summary: %s; bye", srv.Summary())
+	logger.Info("final summary; bye", "stats", srv.Summary())
 	return <-errc
 }
 

@@ -9,7 +9,9 @@ import (
 	"subzero/internal/bitmap"
 	"subzero/internal/grid"
 	"subzero/internal/kvstore"
+	"subzero/internal/obs"
 	"subzero/internal/rtree"
+	"subzero/internal/trace"
 )
 
 // The lookup hot path is span-oriented end to end: query bitmaps are
@@ -91,6 +93,13 @@ func (sc *lookupScratch) buildKeys(slot int) {
 // true cancels the lookup with ErrAborted (the query-time optimizer's
 // dynamic fallback hook).
 func (s *Store) Backward(q, dst *bitmap.Bitmap, inputIdx int, mapp PayloadFn, covered *bitmap.Bitmap, abort func() bool) error {
+	return s.BackwardSpan(nil, q, dst, inputIdx, mapp, covered, abort)
+}
+
+// BackwardSpan is Backward under a trace span: kvstore probe batches on
+// the One-encoding paths become child spans of sp. A nil sp (the
+// sampled-off path) adds nothing.
+func (s *Store) BackwardSpan(sp *trace.Span, q, dst *bitmap.Bitmap, inputIdx int, mapp PayloadFn, covered *bitmap.Bitmap, abort func() bool) error {
 	if inputIdx < 0 || inputIdx >= len(s.inSpaces) {
 		return fmt.Errorf("lineage: input index %d out of range (%d inputs)", inputIdx, len(s.inSpaces))
 	}
@@ -108,11 +117,11 @@ func (s *Store) Backward(q, dst *bitmap.Bitmap, inputIdx int, mapp PayloadFn, co
 	}
 	switch {
 	case s.strat.Enc == One && s.strat.Mode == Full:
-		return s.lookupFullOne(q, dst, 0, inputIdx, false, abort)
+		return s.lookupFullOne(sp, q, dst, 0, inputIdx, false, abort)
 	case s.strat.Enc == Many && s.strat.Mode == Full:
 		return s.backwardFullMany(q, dst, inputIdx, abort)
 	case s.strat.Enc == One:
-		return s.backwardPayOne(q, dst, inputIdx, mapp, covered, abort)
+		return s.backwardPayOne(sp, q, dst, inputIdx, mapp, covered, abort)
 	default:
 		return s.backwardPayMany(q, dst, inputIdx, mapp, covered, abort)
 	}
@@ -123,7 +132,7 @@ func (s *Store) Backward(q, dst *bitmap.Bitmap, inputIdx int, mapp PayloadFn, co
 // referenced pair record into dst exactly once (records repeat under
 // fanout, so the dedup both batches record fetches and skips redundant
 // bitmap writes).
-func (s *Store) lookupFullOne(q, dst *bitmap.Bitmap, slot, inputIdx int, forward bool, abort func() bool) error {
+func (s *Store) lookupFullOne(sp *trace.Span, q, dst *bitmap.Bitmap, slot, inputIdx int, forward bool, abort func() bool) error {
 	sc := getScratch()
 	defer sc.release()
 	var err error
@@ -140,6 +149,8 @@ func (s *Store) lookupFullOne(q, dst *bitmap.Bitmap, slot, inputIdx int, forward
 		// store re-entry happens under the batch's lock; record fetches
 		// wait for phase 2.
 		sc.ids = sc.ids[:0]
+		ksp := sp.Child("kvstore.GetBatch", obs.SpanKVProbe)
+		ksp.SetAttrInt("keys", int64(len(sc.keys)))
 		berr := kvstore.GetBatch(s.kv, sc.keys, func(_ int, val []byte, ok bool) bool {
 			if !ok {
 				return true
@@ -147,6 +158,7 @@ func (s *Store) lookupFullOne(q, dst *bitmap.Bitmap, slot, inputIdx int, forward
 			sc.ids, err = appendIDList(sc.ids, val)
 			return err == nil
 		})
+		ksp.End()
 		if berr != nil && err == nil {
 			err = berr
 		}
@@ -224,7 +236,7 @@ func (s *Store) backwardFullMany(q, dst *bitmap.Bitmap, inputIdx int, abort func
 	return nil
 }
 
-func (s *Store) backwardPayOne(q, dst *bitmap.Bitmap, inputIdx int, mapp PayloadFn, covered *bitmap.Bitmap, abort func() bool) error {
+func (s *Store) backwardPayOne(sp *trace.Span, q, dst *bitmap.Bitmap, inputIdx int, mapp PayloadFn, covered *bitmap.Bitmap, abort func() bool) error {
 	sc := getScratch()
 	defer sc.release()
 	var err error
@@ -239,6 +251,8 @@ func (s *Store) backwardPayOne(q, dst *bitmap.Bitmap, inputIdx int, mapp Payload
 			return false
 		}
 		sc.buildKeys(0)
+		ksp := sp.Child("kvstore.GetBatch", obs.SpanKVProbe)
+		ksp.SetAttrInt("keys", int64(len(sc.keys)))
 		berr := kvstore.GetBatch(s.kv, sc.keys, func(i int, val []byte, ok bool) bool {
 			if !ok {
 				return true
@@ -263,6 +277,7 @@ func (s *Store) backwardPayOne(q, dst *bitmap.Bitmap, inputIdx int, mapp Payload
 			}
 			return true
 		})
+		ksp.End()
 		if berr != nil && err == nil {
 			err = berr
 		}
@@ -326,6 +341,11 @@ func (s *Store) scanBackward(q, dst *bitmap.Bitmap, inputIdx int, abort func() b
 // and compute the input cells using map_p before it can be compared to the
 // query coordinates" — that scan is implemented here.
 func (s *Store) Forward(q, dst *bitmap.Bitmap, inputIdx int, mapp PayloadFn, abort func() bool) error {
+	return s.ForwardSpan(nil, q, dst, inputIdx, mapp, abort)
+}
+
+// ForwardSpan is Forward under a trace span; see BackwardSpan.
+func (s *Store) ForwardSpan(sp *trace.Span, q, dst *bitmap.Bitmap, inputIdx int, mapp PayloadFn, abort func() bool) error {
 	if inputIdx < 0 || inputIdx >= len(s.inSpaces) {
 		return fmt.Errorf("lineage: input index %d out of range (%d inputs)", inputIdx, len(s.inSpaces))
 	}
@@ -356,7 +376,7 @@ func (s *Store) Forward(q, dst *bitmap.Bitmap, inputIdx int, mapp PayloadFn, abo
 			return true, nil
 		})
 	case s.strat.Enc == One:
-		return s.lookupFullOne(q, dst, inputIdx, inputIdx, true, abort)
+		return s.lookupFullOne(sp, q, dst, inputIdx, inputIdx, true, abort)
 	default:
 		return s.forwardFullMany(q, dst, inputIdx, abort)
 	}

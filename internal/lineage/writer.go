@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"subzero/internal/grid"
+	"subzero/internal/obs"
+	"subzero/internal/trace"
 )
 
 // Writer implements the lwrite half of the runtime API (paper Table I) for
@@ -29,6 +31,10 @@ type Writer struct {
 	// ingest pipeline instead of encoding them inline; the operator thread
 	// then pays only the enqueue cost.
 	coord *Coordinator
+
+	// span, when set, parents trace spans around ingest enqueue and the
+	// end-of-run drain barrier. Nil (the sampled-off path) costs nothing.
+	span *trace.Span
 
 	fullBuf   []RegionPair
 	payBuf    []RegionPair
@@ -70,6 +76,10 @@ func (w *Writer) UseIngest(c *Coordinator) {
 		s.attachIngest(c)
 	}
 }
+
+// SetSpan attaches the trace span under which ingest enqueue and drain
+// spans are created. Call alongside UseIngest, before the first LWrite.
+func (w *Writer) SetSpan(sp *trace.Span) { w.span = sp }
 
 // LWrite records a full region pair: outcells in the output array and one
 // cell set per input array (lwrite(outcells, incells1, ..., incellsn)).
@@ -139,6 +149,9 @@ func (w *Writer) flushBuffers() error {
 	if w.coord != nil {
 		// Asynchronous path: ownership of the buffered blocks transfers
 		// to the pipeline, so fresh buffers grow on the next LWrite.
+		esp := w.span.Child("ingest.enqueue", obs.SpanIngestEnqueue)
+		esp.SetAttrInt("pairs", int64(len(w.fullBuf)+len(w.payBuf)))
+		defer esp.End()
 		if len(w.fullBuf) > 0 {
 			if err := w.coord.Enqueue(w.fullStores, w.fullBuf); err != nil {
 				return err
@@ -203,9 +216,12 @@ func (w *Writer) Flush() error {
 			}
 		}()
 		bstart := time.Now()
+		dsp := w.span.Child("ingest.drain", obs.SpanIngestDrain)
 		if err := w.coord.Barrier(); err != nil {
+			dsp.End()
 			return err
 		}
+		dsp.End()
 		// The drain barrier is operator-thread flush latency shared by
 		// every store of this writer; split it so a node profiling k
 		// strategies does not charge each store the other k-1 stores'

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"subzero/internal/obs"
+	"subzero/internal/trace"
 )
 
 // benchConfig is the lookup benchmark workload: the paper's 1000×1000
@@ -56,6 +57,43 @@ func BenchmarkForwardLookup(b *testing.B) {
 // (kvstore wrapping, query spans, latency histograms) against the
 // unobserved baseline on the same workload. Compare the off/on pairs with
 // benchstat; the obs hot path is designed to stay within ~2%.
+// BenchmarkBackwardLookupTraced measures end-to-end tracing cost on the
+// BenchmarkBackwardLookup workload: "off" runs with no tracer (the
+// sampled-off path, which must stay allocation-free through the engine),
+// "on" grows a full span tree per query under an always-sample tracer.
+// The off mode is the companion to BenchmarkBackwardLookup/<-FullOne —
+// benchstat the pair to confirm tracing costs nothing when idle.
+func BenchmarkBackwardLookupTraced(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		tracer *trace.Tracer
+	}{
+		{"off", nil},
+		{"on", trace.New(trace.Config{Sample: 1})},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			f, err := NewFixture(context.Background(), benchConfig(), "<-FullOne", "")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp := mode.tracer.StartRequest("bench backward", "")
+				n, err := f.Backward(trace.ContextWithSpan(context.Background(), sp))
+				sp.End()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					b.Fatal("empty lookup result")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkBackwardLookupObs(b *testing.B) {
 	for _, mode := range []struct {
 		name string

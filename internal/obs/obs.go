@@ -71,6 +71,39 @@ type Histogram struct {
 	minP1   atomic.Int64 // min+1; 0 means "no observations yet"
 	maxP1   atomic.Int64 // max+1; 0 means "no observations yet"
 	buckets [NumBuckets]atomic.Int64
+	// ex holds the latest exemplar per bucket — a trace ID linking the
+	// bucket to a retained trace. Nil entries mean "no exemplar"; the
+	// plain Observe path never touches this array.
+	ex [NumBuckets]atomic.Pointer[Exemplar]
+}
+
+// Exemplar links a histogram bucket to one concrete traced observation,
+// in the OpenMetrics sense: a metric spike points straight at a retained
+// trace. Immutable once published.
+type Exemplar struct {
+	TraceID string
+	Value   int64
+}
+
+// SetExemplar attaches an exemplar to the bucket covering v. It does NOT
+// observe v — callers pair it with an Observe of the same value (the
+// split keeps Observe allocation-free for untraced requests).
+func (h *Histogram) SetExemplar(v int64, traceID string) {
+	if traceID == "" {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.ex[bucketIndex(v)].Store(&Exemplar{TraceID: traceID, Value: v})
+}
+
+// Exemplar returns the latest exemplar of bucket i, or nil.
+func (h *Histogram) Exemplar(i int) *Exemplar {
+	if i < 0 || i >= NumBuckets {
+		return nil
+	}
+	return h.ex[i].Load()
 }
 
 // bucketIndex maps a non-negative value to its bucket.

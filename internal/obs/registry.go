@@ -311,7 +311,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	var b strings.Builder
 	for _, f := range fams {
 		b.Reset()
-		f.write(&b)
+		f.write(&b, false)
 		if _, err := io.WriteString(w, b.String()); err != nil {
 			return err
 		}
@@ -319,7 +319,34 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	return nil
 }
 
-func (f *family) write(b *strings.Builder) {
+// WriteOpenMetrics renders the same families as WriteProm with two
+// OpenMetrics additions: histogram bucket lines carry exemplars
+// ("# {trace_id=\"...\"} value" suffix) when a traced observation landed
+// in the bucket, and the body ends with the required "# EOF" terminator.
+// Serve it only under content negotiation — the 0.0.4 parser in client/
+// would otherwise see the exemplar as part of the sample line.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		f.write(&b, true)
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func (f *family) write(b *strings.Builder, exemplars bool) {
 	f.mu.Lock()
 	keys := append([]string(nil), f.keys...)
 	all := make([]*series, len(keys))
@@ -356,8 +383,15 @@ func (f *family) write(b *strings.Builder) {
 				if snap.Buckets[i] == 0 && i != NumBuckets-1 && i != 0 {
 					continue
 				}
+				var ex string
+				if exemplars {
+					if e := s.h.Exemplar(i); e != nil {
+						ex = ` # {trace_id="` + escapeLabelValue(e.TraceID) + `"} ` +
+							formatValue(e.Value, f.unit)
+					}
+				}
 				writeSample(b, f.name, "_bucket", s.labelStr,
-					`le="`+formatBound(i, f.unit)+`"`, strconv.FormatInt(cum, 10))
+					`le="`+formatBound(i, f.unit)+`"`, strconv.FormatInt(cum, 10)+ex)
 			}
 			writeSample(b, f.name, "_sum", s.labelStr, "", formatValue(snap.Sum, f.unit))
 			writeSample(b, f.name, "_count", s.labelStr, "", strconv.FormatInt(snap.Count, 10))

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 var sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+-]+|\+Inf)$`)
@@ -191,6 +192,89 @@ func TestNewSetRegistersAllFamilies(t *testing.T) {
 	} {
 		if !strings.Contains(out, "# TYPE "+fam+" ") {
 			t.Errorf("family %s not registered", fam)
+		}
+	}
+}
+
+func TestWriteOpenMetricsExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("x_seconds", "X.", Nanos)
+	h.Observe(100)
+	h.SetExemplar(100, "4bf92f3577b34da6a3ce929d0e0e4736")
+
+	var prom, om strings.Builder
+	if err := r.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+
+	if strings.Contains(prom.String(), "trace_id") {
+		t.Fatal("WriteProm must not emit exemplars (0.0.4 parsers choke)")
+	}
+	if strings.Contains(prom.String(), "# EOF") {
+		t.Fatal("WriteProm must not emit the OpenMetrics terminator")
+	}
+	want := `# {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 1e-07`
+	if !strings.Contains(om.String(), want) {
+		t.Fatalf("WriteOpenMetrics missing exemplar %q in:\n%s", want, om.String())
+	}
+	if !strings.HasSuffix(om.String(), "# EOF\n") {
+		t.Fatal("WriteOpenMetrics must end with # EOF")
+	}
+}
+
+func TestSetExemplarEmptyTraceIgnored(t *testing.T) {
+	var h Histogram
+	h.SetExemplar(5, "")
+	for i := 0; i < NumBuckets; i++ {
+		if h.Exemplar(i) != nil {
+			t.Fatal("empty trace ID must not create an exemplar")
+		}
+	}
+	if h.Exemplar(-1) != nil || h.Exemplar(NumBuckets) != nil {
+		t.Fatal("out-of-range Exemplar must return nil")
+	}
+}
+
+func TestSpanClassesComplete(t *testing.T) {
+	classes := SpanClasses()
+	seen := map[string]bool{}
+	for _, c := range classes {
+		if seen[c] {
+			t.Fatalf("duplicate span class %q", c)
+		}
+		seen[c] = true
+	}
+	for _, c := range []string{SpanProbe, SpanStore, SpanReexec, SpanHTTP,
+		SpanQuery, SpanExecute, SpanNode, SpanKVProbe, SpanIngestEnqueue,
+		SpanIngestDrain} {
+		if !seen[c] {
+			t.Fatalf("SpanClasses missing %q", c)
+		}
+	}
+}
+
+func TestAttachExemplar(t *testing.T) {
+	set := NewSet()
+	set.Query.AttachExemplar(0, 100*time.Nanosecond, "abc123")
+	found := false
+	for i := 0; i < NumBuckets; i++ {
+		if e := set.Query.Latency[0].Exemplar(i); e != nil {
+			found = true
+			if e.TraceID != "abc123" {
+				t.Fatalf("exemplar trace = %q", e.TraceID)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("AttachExemplar stored nothing")
+	}
+	set.Query.AttachExemplar(1, time.Millisecond, "") // no-op
+	for i := 0; i < NumBuckets; i++ {
+		if set.Query.Latency[1].Exemplar(i) != nil {
+			t.Fatal("empty trace ID attached an exemplar")
 		}
 	}
 }

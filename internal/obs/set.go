@@ -20,6 +20,32 @@ const (
 	spanOther       = "other"
 )
 
+// Span classes for the layers above and below the executor, used by
+// internal/trace span trees (they have no StepReport access path, so
+// RecordStep never sees them). Every span a tracer emits must carry one
+// of the SpanClasses() families — see CONTRIBUTING.
+const (
+	SpanHTTP          = "http"
+	SpanQuery         = "query"
+	SpanExecute       = "execute"
+	SpanNode          = "node"
+	SpanKVProbe       = "kvstore-probe"
+	SpanIngestEnqueue = "ingest-enqueue"
+	SpanIngestDrain   = "ingest-drain"
+)
+
+// SpanClasses returns every valid trace span class. The executor families
+// (probe..reexec) double as step-metric labels; the rest exist only in
+// trace trees.
+func SpanClasses() []string {
+	return []string{
+		SpanProbe, SpanEntireArray, SpanMap, SpanComposite, SpanStore,
+		SpanStoreScan, SpanReexec, spanOther,
+		SpanHTTP, SpanQuery, SpanExecute, SpanNode, SpanKVProbe,
+		SpanIngestEnqueue, SpanIngestDrain,
+	}
+}
+
 // spanObs couples the per-class step counter and latency histogram.
 type spanObs struct {
 	steps   *Counter
@@ -147,6 +173,19 @@ func (q *QueryObs) RecordQuery(direction int, elapsed time.Duration, cells []uin
 		}
 		q.RegionSpan.Observe(int64(max-min) + 1)
 	}
+}
+
+// AttachExemplar links the query-latency bucket covering elapsed to the
+// given trace ID, so a spike in subzero_query_duration_seconds points at
+// a retained trace. No-op when traceID is empty (untraced request).
+func (q *QueryObs) AttachExemplar(direction int, elapsed time.Duration, traceID string) {
+	if traceID == "" {
+		return
+	}
+	if direction < 0 || direction > 1 {
+		direction = 0
+	}
+	q.Latency[direction].SetExemplar(int64(elapsed), traceID)
 }
 
 // IngestObs instruments the sharded capture pipeline.

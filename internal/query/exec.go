@@ -8,6 +8,8 @@ import (
 
 	"subzero/internal/bitmap"
 	"subzero/internal/lineage"
+	"subzero/internal/obs"
+	"subzero/internal/trace"
 	"subzero/internal/workflow"
 )
 
@@ -59,6 +61,21 @@ func (e *Executor) executeStep(ctx context.Context, d Direction, st Step, cur *b
 	// private clone.
 	mc = mc.Clone()
 	start := time.Now()
+	// Step span: the class starts as "other" and is rewritten to the
+	// chosen access path's SpanClass family once execution settles it.
+	ssp := trace.FromContext(ctx).Child("step "+st.Node, "other")
+	ssp.SetAttrInt("input", int64(st.InputIdx))
+	ssp.SetAttrInt("in_cells", int64(report.InCells))
+	defer func() {
+		if c := obs.SpanClass(report.AccessPath); c != "" {
+			ssp.SetClass(c)
+		}
+		if report.AccessPath != "" {
+			ssp.SetAttr("path", report.AccessPath)
+		}
+		ssp.SetAttrInt("out_cells", int64(report.OutCells))
+		ssp.End()
+	}()
 
 	// Entire-array optimization (paper §VI-C), two forms: an annotated
 	// all-to-all operator relates every input cell to every output cell,
@@ -86,7 +103,9 @@ func (e *Executor) executeStep(ctx context.Context, d Direction, st Step, cur *b
 	if e.obs != nil {
 		probeStart = time.Now()
 	}
-	cands := e.candidates(ctx, d, st, node, mc, cur, next, &report)
+	psp := ssp.Child("candidates", obs.SpanProbe)
+	cands := e.candidates(ctx, ssp, d, st, node, mc, cur, next, &report)
+	psp.End()
 	if e.obs != nil {
 		e.obs.RecordProbe(time.Since(probeStart))
 	}
@@ -151,7 +170,7 @@ func (e *Executor) record(r StepReport, reexec bool) {
 // estimates included. The slice is ordered by static preference: mapping
 // functions, then composite, then orientation-matched stores, then
 // mismatched stores, then re-execution.
-func (e *Executor) candidates(ctx context.Context, d Direction, st Step, node *workflow.Node, mc *workflow.MapCtx, cur, next *bitmap.Bitmap, report *StepReport) []candidate {
+func (e *Executor) candidates(ctx context.Context, sp *trace.Span, d Direction, st Step, node *workflow.Node, mc *workflow.MapCtx, cur, next *bitmap.Bitmap, report *StepReport) []candidate {
 	var cands []candidate
 	strategies := e.run.Strategies(st.Node)
 	opStats := e.stats.Get(st.Node)
@@ -197,7 +216,7 @@ func (e *Executor) candidates(ctx context.Context, d Direction, st Step, node *w
 			label: fmt.Sprintf("%s(%s)", PathComposite, store.Strategy()),
 			cost:  e.storeCost(d, store, opStats, n, true),
 			run: func(abort func() bool) error {
-				return e.runComposite(d, st, node, mc, store, cur, next, abort)
+				return e.runComposite(sp, d, st, node, mc, store, cur, next, abort)
 			},
 		})
 	}
@@ -207,7 +226,7 @@ func (e *Executor) candidates(ctx context.Context, d Direction, st Step, node *w
 			label: fmt.Sprintf("%s(%s)", PathStore, store.Strategy()),
 			cost:  e.storeCost(d, store, opStats, n, true),
 			run: func(abort func() bool) error {
-				return e.runStore(d, st, node, mc, store, cur, next, abort)
+				return e.runStore(sp, d, st, node, mc, store, cur, next, abort)
 			},
 		})
 	}
@@ -217,7 +236,7 @@ func (e *Executor) candidates(ctx context.Context, d Direction, st Step, node *w
 			label: fmt.Sprintf("%s(%s)", PathStoreScan, store.Strategy()),
 			cost:  e.storeCost(d, store, opStats, n, false),
 			run: func(abort func() bool) error {
-				return e.runStore(d, st, node, mc, store, cur, next, abort)
+				return e.runStore(sp, d, st, node, mc, store, cur, next, abort)
 			},
 		})
 	}
@@ -271,22 +290,22 @@ func (e *Executor) runMap(d Direction, st Step, node *workflow.Node, mc *workflo
 
 // runStore resolves a step against one materialized store (matched or
 // mismatched orientation — the store handles both).
-func (e *Executor) runStore(d Direction, st Step, node *workflow.Node, mc *workflow.MapCtx, store *lineage.Store, cur, next *bitmap.Bitmap, abort func() bool) error {
+func (e *Executor) runStore(sp *trace.Span, d Direction, st Step, node *workflow.Node, mc *workflow.MapCtx, store *lineage.Store, cur, next *bitmap.Bitmap, abort func() bool) error {
 	mapp := e.payloadFn(node, mc)
 	if d == Backward {
-		return store.Backward(cur, next, st.InputIdx, mapp, nil, abort)
+		return store.BackwardSpan(sp, cur, next, st.InputIdx, mapp, nil, abort)
 	}
-	return store.Forward(cur, next, st.InputIdx, mapp, abort)
+	return store.ForwardSpan(sp, cur, next, st.InputIdx, mapp, abort)
 }
 
 // runComposite resolves a step against a composite store: stored payload
 // pairs override the operator's default mapping (paper §V-A4).
-func (e *Executor) runComposite(d Direction, st Step, node *workflow.Node, mc *workflow.MapCtx, store *lineage.Store, cur, next *bitmap.Bitmap, abort func() bool) error {
+func (e *Executor) runComposite(sp *trace.Span, d Direction, st Step, node *workflow.Node, mc *workflow.MapCtx, store *lineage.Store, cur, next *bitmap.Bitmap, abort func() bool) error {
 	mapp := e.payloadFn(node, mc)
 	if d == Backward {
 		covered := stepPool.Get(mc.OutSpace)
 		defer stepPool.Put(covered)
-		if err := store.Backward(cur, next, st.InputIdx, mapp, covered, abort); err != nil {
+		if err := store.BackwardSpan(sp, cur, next, st.InputIdx, mapp, covered, abort); err != nil {
 			return err
 		}
 		// Default mapping for the query cells no payload pair covered.
@@ -319,7 +338,7 @@ func (e *Executor) runComposite(d Direction, st Step, node *workflow.Node, mc *w
 
 	// Forward: payload pairs are scanned by the store; output cells not
 	// covered by any payload pair keep the default forward mapping.
-	if err := store.Forward(cur, next, st.InputIdx, mapp, abort); err != nil {
+	if err := store.ForwardSpan(sp, cur, next, st.InputIdx, mapp, abort); err != nil {
 		return err
 	}
 	fm, ok := node.Op.(workflow.ForwardMapper)

@@ -28,6 +28,7 @@ import (
 	"subzero/internal/grid"
 	"subzero/internal/lineage"
 	"subzero/internal/obs"
+	"subzero/internal/trace"
 	"subzero/internal/workflow"
 )
 
@@ -218,6 +219,15 @@ func (e *Executor) Execute(ctx context.Context, q Query) (*Result, error) {
 	if err := e.Validate(q); err != nil {
 		return nil, err
 	}
+	// Query span: every step span below parents under it via the context.
+	// On the sampled-off path FromContext yields nil and the whole chain
+	// costs nothing.
+	qsp := trace.FromContext(ctx).Child("query "+q.Direction.String(), obs.SpanQuery)
+	qsp.SetAttr("run", e.run.ID)
+	qsp.SetAttr("direction", q.Direction.String())
+	qsp.SetAttrInt("cells", int64(len(q.Cells)))
+	defer qsp.End()
+	ctx = trace.ContextWithSpan(ctx, qsp)
 	start := time.Now()
 	srcSpace, err := e.stepSourceSpace(q.Direction, q.Path[0])
 	if err != nil {
@@ -249,6 +259,9 @@ func (e *Executor) Execute(ctx context.Context, q Query) (*Result, error) {
 	res.Elapsed = time.Since(start)
 	if e.obs != nil {
 		e.obs.RecordQuery(int(q.Direction), res.Elapsed, q.Cells)
+		// Exemplar: link the latency bucket this query landed in to its
+		// retained trace, so a histogram spike points at evidence.
+		e.obs.AttachExemplar(int(q.Direction), res.Elapsed, qsp.TraceIDString())
 	}
 	return res, nil
 }

@@ -27,9 +27,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -37,6 +38,7 @@ import (
 	"subzero"
 	"subzero/internal/kvstore"
 	"subzero/internal/obs"
+	"subzero/internal/trace"
 )
 
 // DefaultMaxInFlight bounds concurrently served heavy requests when the
@@ -58,13 +60,18 @@ type Config struct {
 	// query, query-batch, optimize, drop); excess requests are rejected
 	// with 503. <= 0 selects DefaultMaxInFlight.
 	MaxInFlight int
-	// Logger receives periodic summaries and slow-query lines; nil
-	// disables logging entirely.
-	Logger *log.Logger
+	// Logger receives structured records (slow queries, write failures),
+	// each carrying trace and run IDs when available; nil disables
+	// logging entirely.
+	Logger *slog.Logger
 	// Obs is the metric set /v1/metrics exposes and the HTTP layer
 	// records into. Nil selects the System's own set, so serving metrics
 	// land in the same exposition as query/ingest/kvstore metrics.
 	Obs *obs.Set
+	// Tracer samples and retains request span trees served at /v1/traces.
+	// Nil selects an always-sample tracer whose slow threshold follows
+	// SlowQuery.
+	Tracer *trace.Tracer
 	// SlowQuery, when > 0, logs one structured line per lineage query
 	// whose end-to-end latency reaches the threshold.
 	SlowQuery time.Duration
@@ -89,8 +96,9 @@ type Server struct {
 	catalog   *Catalog
 	mux       *http.ServeMux
 	sem       chan struct{}
-	logger    *log.Logger
+	logger    *slog.Logger
 	obs       *obs.Set
+	tracer    *trace.Tracer
 	slowQuery time.Duration
 	started   time.Time
 
@@ -121,6 +129,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Obs == nil {
 		cfg.Obs = obs.NewSet()
 	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = trace.New(trace.Config{Sample: 1, Slow: cfg.SlowQuery})
+	}
 	s := &Server{
 		sys:       cfg.System,
 		catalog:   cfg.Catalog,
@@ -128,12 +139,15 @@ func New(cfg Config) (*Server, error) {
 		sem:       make(chan struct{}, cfg.MaxInFlight),
 		logger:    cfg.Logger,
 		obs:       cfg.Obs,
+		tracer:    cfg.Tracer,
 		slowQuery: cfg.SlowQuery,
 		started:   time.Now(),
 	}
 	s.handle("GET /v1/healthz", s.handleHealth)
 	s.handle("GET /v1/metrics", s.handleMetrics)
 	s.handle("GET /v1/stats", s.handleStats)
+	s.handle("GET /v1/traces", s.handleListTraces)
+	s.handle("GET /v1/traces/{id}", s.handleGetTrace)
 	s.handle("GET /v1/workflows", s.handleWorkflows)
 	s.handle("GET /v1/runs", s.handleListRuns)
 	s.handle("GET /v1/runs/{id}", s.handleGetRun)
@@ -155,15 +169,31 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// handle registers a route with per-endpoint request counting and latency
-// histograms. The metric series are resolved once here, so the per-request
-// cost is two atomic updates — no label lookups on the hot path.
+// handle registers a route with per-endpoint request counting, latency
+// histograms, and the root trace span. The metric series are resolved
+// once here, so the untraced per-request cost is two atomic updates — no
+// label lookups on the hot path.
 func (s *Server) handle(pattern string, h http.HandlerFunc) {
 	requests := s.obs.HTTP.Requests.With1(pattern)
 	latency := s.obs.HTTP.Latency.With1(pattern)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		// Root span: an incoming W3C traceparent propagates the caller's
+		// trace ID (and its sampled flag forces sampling); the response
+		// echoes this request's own position in the tree so callers can
+		// stitch. StartRequest returns nil when unsampled — every use
+		// below is nil-safe and allocation-free.
+		sp := s.tracer.StartRequest(pattern, r.Header.Get("Traceparent"))
+		if sp != nil {
+			sp.SetClass(obs.SpanHTTP)
+			w.Header().Set("Traceparent", sp.Traceparent())
+			r = r.WithContext(trace.ContextWithSpan(r.Context(), sp))
+		}
 		h(w, r)
+		if rec, ok := w.(*statusRecorder); ok && sp != nil {
+			sp.SetAttrInt("status", int64(rec.status))
+		}
+		sp.End()
 		requests.Inc()
 		latency.ObserveSince(start)
 	})
@@ -272,10 +302,11 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	health := subzero.WireHealth{
-		Status:   "ok",
-		UptimeNS: time.Since(s.started).Nanoseconds(),
-		Runs:     len(s.sys.Runs()),
-		InFlight: s.inFlight.Load(),
+		Status:           "ok",
+		UptimeNS:         time.Since(s.started).Nanoseconds(),
+		Runs:             len(s.sys.Runs()),
+		InFlight:         s.inFlight.Load(),
+		IngestQueueDepth: s.obs.Ingest.QueueDepth.Load(),
 	}
 	status := http.StatusOK
 	if s.draining.Load() {
@@ -286,11 +317,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics serves the full metric set in Prometheus text exposition
-// format 0.0.4 — hand-rolled, no client library involved.
+// format 0.0.4 — hand-rolled, no client library involved. Scrapers that
+// advertise OpenMetrics support in Accept get the 1.0.0 exposition
+// instead, which carries trace-ID exemplars on histogram buckets; the
+// plain 0.0.4 body never does, so older parsers are unaffected.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := s.obs.Registry.WriteProm(w); err != nil && s.logger != nil {
-		s.logger.Printf("write metrics: %v", err)
+	var err error
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		err = s.obs.Registry.WriteOpenMetrics(w)
+	} else {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		err = s.obs.Registry.WriteProm(w)
+	}
+	if err != nil && s.logger != nil {
+		s.logger.Error("write metrics", "err", err)
 	}
 }
 
@@ -317,6 +358,62 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		Workload: subzero.NewWireWorkloadProfile(s.obs),
 	})
+}
+
+// handleListTraces serves summaries of retained traces, newest first.
+// Query params: run, direction, min_duration_ns, slow (true/1), limit.
+func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f := trace.Filter{
+		Run:       q.Get("run"),
+		Direction: q.Get("direction"),
+	}
+	if v := q.Get("min_duration_ns"); v != "" {
+		ns, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ns < 0 {
+			s.writeError(w, http.StatusBadRequest, "min_duration_ns must be a non-negative integer, got %q", v)
+			return
+		}
+		f.MinDuration = time.Duration(ns)
+	}
+	if v := q.Get("slow"); v != "" {
+		slow, err := strconv.ParseBool(v)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "slow must be a boolean, got %q", v)
+			return
+		}
+		f.SlowOnly = slow
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			s.writeError(w, http.StatusBadRequest, "limit must be a positive integer, got %q", v)
+			return
+		}
+		f.Limit = n
+	}
+	traces := s.tracer.List(f)
+	out := make([]subzero.WireTraceSummary, len(traces))
+	for i, t := range traces {
+		out[i] = subzero.NewWireTraceSummary(t)
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// handleGetTrace serves one retained trace as a full span tree.
+func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	raw := r.PathValue("id")
+	id, ok := trace.ParseTraceID(raw)
+	if !ok {
+		s.writeError(w, http.StatusBadRequest, "malformed trace id %q: want 32 hex characters", raw)
+		return
+	}
+	t := s.tracer.Get(id)
+	if t == nil {
+		s.writeError(w, http.StatusNotFound, "trace %s is not retained", raw)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, subzero.NewWireTrace(t))
 }
 
 func (s *Server) handleWorkflows(w http.ResponseWriter, r *http.Request) {
@@ -419,7 +516,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeSystemError(w, r, err)
 		return
 	}
-	s.logSlowQuery(run.ID, q, res)
+	s.logSlowQuery(r.Context(), run.ID, q, res)
 	s.writeJSON(w, http.StatusOK, subzero.NewWireQueryResult(res))
 }
 
@@ -466,18 +563,24 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Errors[i] = br.Errs[i].Error()
 			continue
 		}
-		s.logSlowQuery(run.ID, queries[i], br.Results[i])
+		s.logSlowQuery(r.Context(), run.ID, queries[i], br.Results[i])
 		resp.Results[i] = subzero.NewWireQueryResult(br.Results[i])
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// logSlowQuery emits one structured line for a query whose latency reached
-// the slow-query threshold, including the access path every step took —
-// enough to see which operator and strategy dragged without re-running
-// the query under a profiler.
-func (s *Server) logSlowQuery(runID string, q subzero.Query, res *subzero.QueryResult) {
-	if s.slowQuery <= 0 || s.logger == nil || res == nil || res.Elapsed < s.slowQuery {
+// logSlowQuery emits one structured record for a query whose latency
+// reached the slow-query threshold, including the access path every step
+// took — enough to see which operator and strategy dragged without
+// re-running the query under a profiler. The request's trace is marked
+// slow so the retention layer pins it regardless of eviction pressure.
+func (s *Server) logSlowQuery(ctx context.Context, runID string, q subzero.Query, res *subzero.QueryResult) {
+	if s.slowQuery <= 0 || res == nil || res.Elapsed < s.slowQuery {
+		return
+	}
+	sp := trace.FromContext(ctx)
+	sp.MarkSlow()
+	if s.logger == nil {
 		return
 	}
 	var steps strings.Builder
@@ -488,8 +591,13 @@ func (s *Server) logSlowQuery(runID string, q subzero.Query, res *subzero.QueryR
 		fmt.Fprintf(&steps, "%s[%d]:%s:%s", st.Node, st.InputIdx, st.AccessPath,
 			st.Elapsed.Round(time.Microsecond))
 	}
-	s.logger.Printf("slow-query run=%s direction=%s cells=%d elapsed=%s steps=%s",
-		runID, q.Direction, len(q.Cells), res.Elapsed.Round(time.Microsecond), steps.String())
+	s.logger.Warn("slow-query",
+		"trace_id", sp.TraceIDString(),
+		"run", runID,
+		"direction", q.Direction.String(),
+		"cells", len(q.Cells),
+		"elapsed", res.Elapsed.Round(time.Microsecond),
+		"steps", steps.String())
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
@@ -613,6 +721,6 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(v); err != nil && s.logger != nil {
-		s.logger.Printf("encode response: %v", err)
+		s.logger.Error("encode response", "err", err)
 	}
 }

@@ -1,0 +1,24 @@
+package trace
+
+import "context"
+
+// ctxKey is the private context key for the current span.
+type ctxKey struct{}
+
+// ContextWithSpan returns a context carrying sp as the current span. A
+// nil span returns ctx unchanged, so the sampled-off path threads
+// contexts without allocating.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the current span, or nil when the request is not
+// sampled. The nil result is safe to use directly: all Span methods are
+// nil-receiver safe.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}

@@ -1,0 +1,56 @@
+package trace
+
+import "sync/atomic"
+
+// ring is a bounded lock-free retention ring of completed traces. Writers
+// claim a slot with a single atomic add and publish the immutable *Trace
+// with an atomic store; readers snapshot with atomic loads. A reader can
+// observe a slot mid-overwrite only as either the old or the new pointer —
+// never a torn tree — because traces are frozen before they are stored.
+type ring struct {
+	slots []atomic.Pointer[Trace]
+	seq   atomic.Uint64
+}
+
+func newRing(capacity int) *ring {
+	return &ring{slots: make([]atomic.Pointer[Trace], capacity)}
+}
+
+// put publishes a completed trace, evicting the oldest entry once full.
+func (r *ring) put(tr *Trace) {
+	i := r.seq.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(tr)
+}
+
+// snapshot copies the current contents, newest first. The result length
+// is bounded by the ring capacity.
+func (r *ring) snapshot() []*Trace {
+	n := uint64(len(r.slots))
+	seq := r.seq.Load()
+	if seq > n {
+		seq = n
+	}
+	out := make([]*Trace, 0, seq)
+	// Walk backwards from the most recently claimed slot. Concurrent
+	// writers may have already overwritten "older" slots with newer
+	// traces; that only makes the snapshot fresher, never inconsistent.
+	head := r.seq.Load()
+	for k := uint64(0); k < n; k++ {
+		idx := (head + n - 1 - k) % n
+		if tr := r.slots[idx].Load(); tr != nil {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// len reports how many slots are populated.
+func (r *ring) len() int {
+	n := 0
+	for i := range r.slots {
+		if r.slots[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}

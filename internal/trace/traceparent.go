@@ -1,0 +1,63 @@
+package trace
+
+import "encoding/hex"
+
+// Traceparent is the W3C Trace Context header name, in the canonical
+// lowercase form the spec uses.
+const Traceparent = "traceparent"
+
+// FlagSampled is the traceparent trace-flags bit indicating the caller
+// sampled this request.
+const FlagSampled byte = 0x01
+
+// ParseTraceparent parses a W3C traceparent header value:
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//
+// Per the spec, any two-digit version other than "ff" is accepted with
+// version-00 semantics. Zero trace or span IDs are invalid.
+func ParseTraceparent(h string) (TraceID, SpanID, byte, bool) {
+	var tid TraceID
+	var sid SpanID
+	if len(h) < 55 {
+		return tid, sid, 0, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return tid, sid, 0, false
+	}
+	version, err := hex.DecodeString(h[0:2])
+	if err != nil || version[0] == 0xff {
+		return tid, sid, 0, false
+	}
+	// Version 00 is exactly 55 chars; future versions may append fields
+	// after another dash.
+	if len(h) > 55 && (version[0] == 0 || h[55] != '-') {
+		return tid, sid, 0, false
+	}
+	if _, err := hex.Decode(tid[:], []byte(h[3:35])); err != nil {
+		return TraceID{}, sid, 0, false
+	}
+	if _, err := hex.Decode(sid[:], []byte(h[36:52])); err != nil {
+		return TraceID{}, SpanID{}, 0, false
+	}
+	flags, err := hex.DecodeString(h[53:55])
+	if err != nil {
+		return TraceID{}, SpanID{}, 0, false
+	}
+	if tid.IsZero() || sid.IsZero() {
+		return TraceID{}, SpanID{}, 0, false
+	}
+	return tid, sid, flags[0], true
+}
+
+// FormatTraceparent renders a version-00 traceparent header value.
+func FormatTraceparent(tid TraceID, sid SpanID, flags byte) string {
+	buf := make([]byte, 0, 55)
+	buf = append(buf, '0', '0', '-')
+	buf = hex.AppendEncode(buf, tid[:])
+	buf = append(buf, '-')
+	buf = hex.AppendEncode(buf, sid[:])
+	buf = append(buf, '-')
+	buf = hex.AppendEncode(buf, []byte{flags})
+	return string(buf)
+}

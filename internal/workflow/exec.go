@@ -12,6 +12,7 @@ import (
 	"subzero/internal/kvstore"
 	"subzero/internal/lineage"
 	"subzero/internal/obs"
+	"subzero/internal/trace"
 )
 
 // Plan assigns each node the lineage strategies it stores — the output of
@@ -149,13 +150,17 @@ func (e *Executor) Execute(ctx context.Context, spec *Spec, plan Plan, sources m
 		coord = lineage.NewCoordinator(ctx, e.ingestCfg, &e.ingestMetrics)
 		defer coord.Close()
 	}
+	esp := trace.FromContext(ctx).Child("execute "+spec.Name, obs.SpanExecute)
+	esp.SetAttr("run", run.ID)
+	esp.SetAttrInt("nodes", int64(len(order)))
+	defer esp.End()
 	start := time.Now()
 	for _, node := range order {
 		if err := ctx.Err(); err != nil {
 			e.releasePartial(run)
 			return nil, fmt.Errorf("workflow: cancelled at node %q: %w", node.ID, err)
 		}
-		if err := e.runNode(run, node, sources, coord); err != nil {
+		if err := e.runNode(esp, run, node, sources, coord); err != nil {
 			e.releasePartial(run)
 			return nil, fmt.Errorf("workflow: node %q: %w", node.ID, err)
 		}
@@ -184,7 +189,9 @@ func (e *Executor) releasePartial(run *Run) {
 	_ = e.ReleaseRun(run.ID)
 }
 
-func (e *Executor) runNode(run *Run, node *Node, sources map[string]*array.Array, coord *lineage.Coordinator) error {
+func (e *Executor) runNode(sp *trace.Span, run *Run, node *Node, sources map[string]*array.Array, coord *lineage.Coordinator) error {
+	nsp := sp.Child("node "+node.ID, obs.SpanNode)
+	defer nsp.End()
 	ins, err := e.resolveInputs(run, node, sources)
 	if err != nil {
 		return err
@@ -239,6 +246,7 @@ func (e *Executor) runNode(run *Run, node *Node, sources map[string]*array.Array
 		if coord != nil {
 			writer.UseIngest(coord)
 		}
+		writer.SetSpan(nsp)
 	}
 	rc := NewRunCtx(modes, writer)
 

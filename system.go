@@ -15,6 +15,7 @@ import (
 	"subzero/internal/ops"
 	"subzero/internal/opt"
 	"subzero/internal/query"
+	"subzero/internal/trace"
 	"subzero/internal/workflow"
 )
 
@@ -276,6 +277,12 @@ func (s *System) QueryBatch(ctx context.Context, run RunRef, queries []Query, op
 		Results: make([]*QueryResult, n),
 		Errs:    make([]error, n),
 	}
+	// Batch span: each worker's query spans parent under it through the
+	// context. Child-span creation is safe across worker goroutines.
+	bsp := trace.FromContext(ctx).Child("query-batch", obs.SpanQuery)
+	bsp.SetAttrInt("queries", int64(n))
+	defer bsp.End()
+	ctx = trace.ContextWithSpan(ctx, bsp)
 	start := time.Now()
 	workers := s.par
 	if workers > n {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"subzero/internal/obs"
+	"subzero/internal/trace"
 )
 
 // ---------------------------------------------------------------------
@@ -590,6 +591,108 @@ type WireHealth struct {
 	UptimeNS int64  `json:"uptime_ns"`
 	Runs     int    `json:"runs"`
 	InFlight int64  `json:"in_flight"`
+	// IngestQueueDepth is the most recently observed total depth of the
+	// asynchronous lineage ingest queues, in batches (0 when the
+	// synchronous write path is configured).
+	IngestQueueDepth int64 `json:"ingest_queue_depth"`
+}
+
+// WireTraceSummary is one entry of GET /v1/traces.
+type WireTraceSummary struct {
+	TraceID     string `json:"trace_id"`
+	Run         string `json:"run,omitempty"`
+	Direction   string `json:"direction,omitempty"`
+	Slow        bool   `json:"slow"`
+	StartUnixNS int64  `json:"start_unix_ns"`
+	DurationNS  int64  `json:"duration_ns"`
+	SpanCount   int    `json:"span_count"`
+}
+
+// WireTrace is the body of GET /v1/traces/{id}: the full span tree.
+type WireTrace struct {
+	TraceID     string      `json:"trace_id"`
+	Run         string      `json:"run,omitempty"`
+	Direction   string      `json:"direction,omitempty"`
+	Slow        bool        `json:"slow"`
+	External    bool        `json:"external,omitempty"` // root parented by a remote caller
+	StartUnixNS int64       `json:"start_unix_ns"`
+	DurationNS  int64       `json:"duration_ns"`
+	SpanCount   int         `json:"span_count"`
+	Truncated   int         `json:"truncated,omitempty"` // spans dropped by the per-trace cap
+	Roots       []*WireSpan `json:"roots"`
+}
+
+// WireSpan is one node of a WireTrace span tree.
+type WireSpan struct {
+	ID          string            `json:"id"`
+	Parent      string            `json:"parent,omitempty"` // absent on roots
+	Name        string            `json:"name"`
+	Class       string            `json:"class"`
+	StartUnixNS int64             `json:"start_unix_ns"`
+	DurationNS  int64             `json:"duration_ns"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
+	Children    []*WireSpan       `json:"children,omitempty"`
+}
+
+// NewWireTraceSummary converts a retained trace to its list entry.
+func NewWireTraceSummary(t *trace.Trace) WireTraceSummary {
+	return WireTraceSummary{
+		TraceID:     t.ID.String(),
+		Run:         t.Run,
+		Direction:   t.Direction,
+		Slow:        t.Slow,
+		StartUnixNS: t.Start.UnixNano(),
+		DurationNS:  int64(t.Duration),
+		SpanCount:   len(t.Spans),
+	}
+}
+
+// NewWireTrace converts a retained trace to its full wire form, grouping
+// the flat span list into trees. Spans whose parent is absent (the local
+// root, spans truncated away, or a parent owned by a remote caller)
+// become roots.
+func NewWireTrace(t *trace.Trace) *WireTrace {
+	wt := &WireTrace{
+		TraceID:     t.ID.String(),
+		Run:         t.Run,
+		Direction:   t.Direction,
+		Slow:        t.Slow,
+		External:    t.External,
+		StartUnixNS: t.Start.UnixNano(),
+		DurationNS:  int64(t.Duration),
+		SpanCount:   len(t.Spans),
+		Truncated:   t.Truncated,
+	}
+	byID := make(map[string]*WireSpan, len(t.Spans))
+	order := make([]*WireSpan, 0, len(t.Spans))
+	for _, sp := range t.Spans {
+		ws := &WireSpan{
+			ID:          sp.ID().String(),
+			Name:        sp.Name(),
+			Class:       sp.Class(),
+			StartUnixNS: sp.StartTime().UnixNano(),
+			DurationNS:  int64(sp.Duration()),
+		}
+		if p := sp.ParentID(); !p.IsZero() {
+			ws.Parent = p.String()
+		}
+		if attrs := sp.Attrs(); len(attrs) > 0 {
+			ws.Attrs = make(map[string]string, len(attrs))
+			for _, a := range attrs {
+				ws.Attrs[a.Key] = a.Value()
+			}
+		}
+		byID[ws.ID] = ws
+		order = append(order, ws)
+	}
+	for _, ws := range order {
+		if parent := byID[ws.Parent]; parent != nil && ws.Parent != "" {
+			parent.Children = append(parent.Children, ws)
+			continue
+		}
+		wt.Roots = append(wt.Roots, ws)
+	}
+	return wt
 }
 
 // WireError is the structured error envelope every non-2xx response
