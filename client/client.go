@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -25,17 +26,47 @@ import (
 	"subzero"
 )
 
+// DefaultTimeout bounds every request issued through the client's
+// default *http.Client, so a hung server can never park a caller
+// forever. WithHTTPClient replaces the client — and this bound —
+// wholesale; per-call context deadlines compose with it (the earlier
+// one wins).
+const DefaultTimeout = 60 * time.Second
+
 // Client talks to one lineage service.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
+}
+
+// RetryPolicy governs automatic retries of idempotent calls that fail
+// with a 503 (the server shedding load or draining) or a connection
+// error. Non-idempotent calls (Execute) are never retried: the request
+// may have been applied before the failure.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first;
+	// <= 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the first backoff step; each retry doubles it, with
+	// uniform jitter in [delay/2, delay) so synchronized clients spread
+	// out. A server-provided Retry-After overrides the computed delay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (and any honored Retry-After).
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy tries three times, backing off from 100ms.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Millisecond, MaxDelay: 10 * time.Second}
 }
 
 // Option configures a Client.
 type Option func(*Client)
 
 // WithHTTPClient substitutes the underlying *http.Client (timeouts,
-// transports, test instrumentation). The default is http.DefaultClient.
+// transports, test instrumentation). The default is an *http.Client
+// bounded by DefaultTimeout.
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) {
 		if hc != nil {
@@ -44,10 +75,20 @@ func WithHTTPClient(hc *http.Client) Option {
 	}
 }
 
+// WithRetry replaces the retry policy; RetryPolicy{MaxAttempts: 1}
+// disables retries entirely.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p }
+}
+
 // New creates a client for the service at baseURL (e.g.
 // "http://localhost:8080").
 func New(baseURL string, opts ...Option) *Client {
-	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	c := &Client{
+		base:  strings.TrimRight(baseURL, "/"),
+		hc:    &http.Client{Timeout: DefaultTimeout},
+		retry: DefaultRetryPolicy(),
+	}
 	for _, o := range opts {
 		o(c)
 	}
@@ -58,9 +99,13 @@ func New(baseURL string, opts ...Option) *Client {
 type APIError struct {
 	Status  int    // HTTP status code
 	Message string // server-provided message
+	TraceID string // server-side trace ID, when the response carried one
 }
 
 func (e *APIError) Error() string {
+	if e.TraceID != "" {
+		return fmt.Sprintf("subzero service: %s (http %d, trace %s)", e.Message, e.Status, e.TraceID)
+	}
 	return fmt.Sprintf("subzero service: %s (http %d)", e.Message, e.Status)
 }
 
@@ -68,6 +113,20 @@ func (e *APIError) Error() string {
 func IsNotFound(err error) bool {
 	var apiErr *APIError
 	return errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound
+}
+
+// ErrDeadline marks a call that died on a deadline — the per-call
+// context's or the default HTTP client's DefaultTimeout. Returned errors
+// match both ErrDeadline and context.DeadlineExceeded via errors.Is, so
+// callers can distinguish "the server said no" from "the server never
+// answered in time" without string matching.
+var ErrDeadline = errors.New("subzero client: deadline exceeded")
+
+// deadlineErr wraps a transport error that died on a deadline so it
+// matches ErrDeadline while keeping context.DeadlineExceeded reachable
+// through the original error chain.
+func deadlineErr(method, path string, err error) error {
+	return fmt.Errorf("%w: %s %s: %w", ErrDeadline, method, path, err)
 }
 
 type traceparentKey struct{}
@@ -89,23 +148,65 @@ func traceparentFrom(ctx context.Context) string {
 	return s
 }
 
-// do issues one request and decodes the response into out (unless out is
+// do issues a request and decodes the response into out (unless out is
 // nil). Non-2xx responses become *APIError, preserving the server's
-// structured message when present.
+// structured message when present. Idempotent calls — every endpoint
+// except Execute, whose POST registers a run — are retried per the
+// client's RetryPolicy on 503s and connection errors.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	return c.doIdempotent(ctx, method, path, in, out, true)
+}
+
+func (c *Client) doIdempotent(ctx context.Context, method, path string, in, out any, idempotent bool) error {
+	var blob []byte
 	if in != nil {
-		blob, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if blob, err = json.Marshal(in); err != nil {
 			return fmt.Errorf("client: encode request: %w", err)
 		}
+	}
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 || !idempotent {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, c.retryDelay(attempt, lastErr)); err != nil {
+				return fmt.Errorf("client: %s %s: retry abandoned: %w", method, path, err)
+			}
+		}
+		err := c.doOnce(ctx, method, path, blob, in != nil, out)
+		if err == nil || !c.retryable(ctx, err) {
+			return stripRetryAfter(err)
+		}
+		lastErr = err
+	}
+	return stripRetryAfter(lastErr)
+}
+
+// stripRetryAfter unwraps the internal Retry-After carrier so callers
+// always see the bare *APIError, whatever the retry policy did with it.
+func stripRetryAfter(err error) error {
+	var ue *unavailableError
+	if errors.As(err, &ue) {
+		return ue.APIError
+	}
+	return err
+}
+
+// doOnce issues exactly one HTTP round trip. The body is rebuilt from
+// the marshaled blob so retries never replay a drained reader.
+func (c *Client) doOnce(ctx context.Context, method, path string, blob []byte, hasBody bool, out any) error {
+	var body io.Reader
+	if hasBody {
 		body = bytes.NewReader(blob)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return fmt.Errorf("client: build request: %w", err)
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	if tp := traceparentFrom(ctx); tp != "" {
@@ -113,6 +214,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return deadlineErr(method, path, err)
+		}
 		return fmt.Errorf("client: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
@@ -123,7 +227,13 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if err := json.Unmarshal(blob, &wire); err == nil && wire.Error.Message != "" {
 			msg = wire.Error.Message
 		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+		apiErr := &APIError{Status: resp.StatusCode, Message: msg, TraceID: wire.Error.TraceID}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if secs, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After"))); err == nil && secs > 0 {
+				return &unavailableError{APIError: apiErr, retryAfter: time.Duration(secs) * time.Second}
+			}
+		}
+		return apiErr
 	}
 	if out == nil {
 		return nil
@@ -132,6 +242,65 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return fmt.Errorf("client: decode %s %s response: %w", method, path, err)
 	}
 	return nil
+}
+
+// unavailableError is a 503 carrying the server's Retry-After advice.
+// It unwraps to the *APIError so errors.As sees the status as usual.
+type unavailableError struct {
+	*APIError
+	retryAfter time.Duration
+}
+
+func (e *unavailableError) Unwrap() error { return e.APIError }
+
+// retryable reports whether err is worth another attempt: a 503 (load
+// shed, drain) or a connection-level failure. Deadline expiry is final —
+// the caller's budget is spent — as is any other HTTP status: the server
+// answered, and answered no.
+func (c *Client) retryable(ctx context.Context, err error) bool {
+	if ctx.Err() != nil || errors.Is(err, ErrDeadline) || errors.Is(err, context.Canceled) {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status == http.StatusServiceUnavailable
+	}
+	return true // connection error: nothing reached the server's handler
+}
+
+// retryDelay computes the wait before retry number attempt (1-based):
+// the server's Retry-After when the last failure carried one, otherwise
+// exponential backoff from BaseDelay with uniform jitter in
+// [delay/2, delay), both capped at MaxDelay.
+func (c *Client) retryDelay(attempt int, lastErr error) time.Duration {
+	var ue *unavailableError
+	if errors.As(lastErr, &ue) && ue.retryAfter > 0 {
+		return min(ue.retryAfter, c.retry.MaxDelay)
+	}
+	delay := c.retry.BaseDelay << (attempt - 1)
+	if delay > c.retry.MaxDelay || delay <= 0 {
+		delay = c.retry.MaxDelay
+	}
+	if delay <= 0 {
+		return 0
+	}
+	half := delay / 2
+	return half + rand.N(delay-half)
+}
+
+// sleepCtx waits d or until the context dies, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Health fetches GET /v1/healthz. A draining server answers 503, which
@@ -338,10 +507,13 @@ func (c *Client) Workflows(ctx context.Context) ([]subzero.WireWorkflowInfo, err
 }
 
 // Execute runs a catalog workflow on the server (POST /v1/runs) and
-// returns the registered run.
+// returns the registered run. Execute is the one non-idempotent call —
+// a retry after an ambiguous failure could register a second run — so
+// it is never retried automatically; callers who can tolerate
+// duplicates retry by listing runs first.
 func (c *Client) Execute(ctx context.Context, req subzero.WireExecuteRequest) (*subzero.WireRunInfo, error) {
 	var out subzero.WireRunInfo
-	if err := c.do(ctx, http.MethodPost, "/v1/runs", req, &out); err != nil {
+	if err := c.doIdempotent(ctx, http.MethodPost, "/v1/runs", req, &out, false); err != nil {
 		return nil, err
 	}
 	return &out, nil

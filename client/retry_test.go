@@ -1,0 +1,147 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"subzero"
+	"subzero/client"
+)
+
+// stubService answers every request from fn and counts hits.
+func stubService(t *testing.T, fn func(n int64, w http.ResponseWriter, r *http.Request)) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fn(hits.Add(1), w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+// TestClientRetries503ThenSucceeds: a load-shedding server answers 503
+// twice; the idempotent call retries through it and succeeds on the
+// third attempt.
+func TestClientRetries503ThenSucceeds(t *testing.T) {
+	ts, hits := stubService(t, func(n int64, w http.ResponseWriter, r *http.Request) {
+		if n <= 2 {
+			http.Error(w, `{"error":{"message":"shedding"}}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	})
+	c := client.New(ts.URL, client.WithRetry(client.RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+	}))
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("retries should have carried through the 503s: %v", err)
+	}
+	if h.Status != "ok" || hits.Load() != 3 {
+		t.Fatalf("status=%q hits=%d", h.Status, hits.Load())
+	}
+}
+
+// TestClientHonorsRetryAfter: the server's Retry-After advice (capped at
+// MaxDelay) replaces the computed backoff.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	ts, _ := stubService(t, func(n int64, w http.ResponseWriter, r *http.Request) {
+		if n == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	})
+	// Retry-After of 1s is capped at MaxDelay, so the observed wait proves
+	// the header was honored without making the test sleep a full second.
+	c := client.New(ts.URL, client.WithRetry(client.RetryPolicy{
+		MaxAttempts: 2, BaseDelay: time.Microsecond, MaxDelay: 50 * time.Millisecond,
+	}))
+	start := time.Now()
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("retry waited only %v; Retry-After (capped to 50ms) was ignored", d)
+	}
+}
+
+// TestClientRetriesAreIdempotentOnly: Execute may have registered a run
+// before an ambiguous failure, so it is never retried — one 503, one
+// request, one error.
+func TestClientRetriesAreIdempotentOnly(t *testing.T) {
+	ts, hits := stubService(t, func(n int64, w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "busy", http.StatusServiceUnavailable)
+	})
+	c := client.New(ts.URL, client.WithRetry(client.RetryPolicy{
+		MaxAttempts: 4, BaseDelay: time.Microsecond, MaxDelay: time.Millisecond,
+	}))
+	_, err := c.Execute(context.Background(), subzero.WireExecuteRequest{Workflow: "gate"})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("execute error = %v, want 503", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("non-idempotent Execute was retried: %d requests", hits.Load())
+	}
+
+	// The same failure on an idempotent call burns every attempt, and the
+	// caller still sees the plain *APIError, not the retry plumbing.
+	_, err = c.Health(context.Background())
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("health error = %v, want 503", err)
+	}
+	if got := hits.Load(); got != 5 {
+		t.Fatalf("idempotent call should retry 4 times total, got %d extra", got-1)
+	}
+}
+
+// TestClientDeadlineSentinel: a call that dies on its context deadline
+// matches both client.ErrDeadline and context.DeadlineExceeded.
+func TestClientDeadlineSentinel(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	ts, _ := stubService(t, func(n int64, w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	})
+	c := client.New(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := c.Health(ctx)
+	if !errors.Is(err, client.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v must keep context.DeadlineExceeded reachable", err)
+	}
+}
+
+// TestClientCapturesTraceID: the trace ID of a structured error response
+// rides along on the APIError and shows up in its message.
+func TestClientCapturesTraceID(t *testing.T) {
+	const id = "4bf92f3577b34da6a3ce929d0e0e4736"
+	ts, _ := stubService(t, func(n int64, w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte(`{"error":{"message":"handler panicked","trace_id":"` + id + `"}}`))
+	})
+	c := client.New(ts.URL)
+	_, err := c.Health(context.Background())
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if apiErr.TraceID != id || !strings.Contains(apiErr.Error(), id) {
+		t.Fatalf("trace ID lost: %+v", apiErr)
+	}
+}

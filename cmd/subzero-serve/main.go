@@ -6,8 +6,9 @@
 //
 //	subzero-serve [-addr :8080] [-dir /var/lib/subzero] [-parallelism 8]
 //	              [-max-inflight 64] [-drain-timeout 30s] [-quiet]
-//	              [-log-interval 30s] [-slow-query 250ms]
+//	              [-log-interval 30s] [-slow-query 250ms] [-query-timeout 5s]
 //	              [-trace-sample 1.0] [-trace-retain 256] [-pprof]
+//	              [-faults spec]
 //
 // Observability: metrics are exposed in Prometheus text format at
 // GET /v1/metrics (OpenMetrics with exemplars under content negotiation);
@@ -38,6 +39,7 @@ import (
 	"time"
 
 	"subzero"
+	"subzero/internal/fault"
 	"subzero/internal/server"
 	"subzero/internal/trace"
 )
@@ -62,10 +64,26 @@ func run() error {
 	slowQuery := flag.Duration("slow-query", 0, "log one structured record per lineage query at least this slow and pin its trace (0 disables)")
 	traceSample := flag.Float64("trace-sample", 1.0, "head-based trace sampling probability in [0,1]; sampled inbound traceparents are always traced")
 	traceRetain := flag.Int("trace-retain", 0, "completed traces kept for /v1/traces (default 256; slow traces keep a separate quarter-size ring)")
+	queryTimeout := flag.Duration("query-timeout", 0, "server-side deadline per query/query-batch request; exceeding it answers 504 (0 disables)")
+	faults := flag.String("faults", "", "arm failpoints, e.g. 'kvstore/flush=error;server/handler=panic' (testing only; see internal/fault)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	// Failpoint activation: the -faults flag wins; otherwise the
+	// SUBZERO_FAULTS environment variable. Both are no-ops in normal
+	// operation — unarmed failpoints compile to an atomic load.
+	if *faults != "" {
+		if err := fault.ArmSpec(*faults); err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+		logger.Warn("failpoints armed from -faults", "spec", *faults)
+	} else if err := fault.ArmFromEnv(); err != nil {
+		return fmt.Errorf("%s: %w", fault.EnvVar, err)
+	} else if spec := os.Getenv(fault.EnvVar); spec != "" {
+		logger.Warn("failpoints armed from environment", "spec", spec)
+	}
 
 	var opts []subzero.Option
 	if *dir != "" {
@@ -93,12 +111,13 @@ func run() error {
 		traceCfg.SlowCapacity = max(*traceRetain/4, 1)
 	}
 	srv, err := server.New(server.Config{
-		System:      sys,
-		MaxInFlight: *maxInFlight,
-		Logger:      reqLogger,
-		SlowQuery:   *slowQuery,
-		Tracer:      trace.New(traceCfg),
-		EnablePprof: *pprofOn,
+		System:       sys,
+		MaxInFlight:  *maxInFlight,
+		Logger:       reqLogger,
+		SlowQuery:    *slowQuery,
+		QueryTimeout: *queryTimeout,
+		Tracer:       trace.New(traceCfg),
+		EnablePprof:  *pprofOn,
 	})
 	if err != nil {
 		return err
@@ -149,7 +168,9 @@ func run() error {
 	// Graceful drain: stop advertising health, shed new work, let active
 	// queries finish.
 	logger.Info("signal received; draining", "timeout", *drainTimeout)
-	srv.Drain()
+	// DrainFor records the drain window so shed clients get a Retry-After
+	// spanning the remainder instead of a blind constant.
+	srv.DrainFor(*drainTimeout)
 	// Derive from the signal context without inheriting its cancellation:
 	// it has already fired, and the drain deadline must outlive it.
 	shutdownCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), *drainTimeout)

@@ -1,0 +1,129 @@
+package subzero_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"subzero"
+	"subzero/internal/fault"
+)
+
+// oneNodeRun executes a single FullOne-materialized identity operator
+// and returns the system plus its run.
+func oneNodeRun(t *testing.T, opts ...subzero.Option) (*subzero.System, *subzero.Run) {
+	t.Helper()
+	sys, err := subzero.NewSystem(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	spec := subzero.NewSpec("fault-test")
+	spec.Add("id", subzero.UnaryOp("id", func(x float64) float64 { return x }),
+		subzero.FromExternal("src"))
+	src, err := subzero.NewArray("src", subzero.Shape{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Execute(context.Background(), spec, subzero.Plan{"id": {subzero.StratFullOne}},
+		map[string]*subzero.Array{"src": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, run
+}
+
+// TestCorruptionFallbackAndHeal is the tentpole's quarantine loop end to
+// end: a decode fault at lookup time degrades the store, the query still
+// answers through re-execution, the healer rebuilds the store in the
+// background, and once the rebuild swaps in, queries serve from
+// materialized lineage again.
+func TestCorruptionFallbackAndHeal(t *testing.T) {
+	defer fault.Reset()
+	sys, run := oneNodeRun(t, subzero.WithStorageDir(t.TempDir()))
+	q := subzero.BackwardQuery([]uint64{2}, subzero.Step{Node: "id"})
+
+	if err := fault.Arm("lineage/lookup/decode", fault.Action{Kind: fault.KindError, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Dynamic off: the query-time optimizer's budget abort takes the same
+	// fallback as corruption and would mask whether the fault fired.
+	opts := subzero.DefaultQueryOptions()
+	opts.Dynamic = false
+	res, err := sys.QueryWith(context.Background(), run, q, opts)
+	if err != nil {
+		t.Fatalf("corrupt store must fall back, not fail: %v", err)
+	}
+	if cells := res.Cells(); len(cells) != 1 || cells[0] != 2 {
+		t.Fatalf("fallback answer wrong: %v", cells)
+	}
+	if !res.Steps[0].FellBack || !strings.Contains(res.Steps[0].AccessPath, "reexec") {
+		t.Fatalf("expected re-execution fallback, got %+v", res.Steps[0])
+	}
+
+	// The healer claimed the degraded store and is rebuilding it in the
+	// background; wait for the inventory to clear.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(sys.DegradedStores()) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("store still degraded after heal window: %+v", sys.DegradedStores())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	attempts, successes, failures := sys.HealCounts()
+	if attempts < 1 || successes < 1 {
+		t.Fatalf("heal not recorded: attempts=%d successes=%d failures=%d", attempts, successes, failures)
+	}
+
+	// Post-heal, the swapped-in store serves from materialized lineage.
+	res2, err := sys.QueryWith(context.Background(), run, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Steps[0].FellBack {
+		t.Fatalf("healed store still falling back: %+v", res2.Steps[0])
+	}
+	if cells := res2.Cells(); len(cells) != 1 || cells[0] != 2 {
+		t.Fatalf("healed answer wrong: %v", cells)
+	}
+}
+
+// TestQueryBatchPanicContainment: a panic inside one batch query fails
+// only that query's slot — the worker survives to drain the rest and
+// the batch completes.
+func TestQueryBatchPanicContainment(t *testing.T) {
+	defer fault.Reset()
+	sys, run := oneNodeRun(t)
+	q := subzero.BackwardQuery([]uint64{1}, subzero.Step{Node: "id"})
+
+	if err := fault.Arm("lineage/lookup/decode", fault.Action{Kind: fault.KindPanic, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	opts := subzero.DefaultQueryOptions()
+	opts.Dynamic = false
+	queries := []subzero.Query{q, q, q, q}
+	br, err := sys.QueryBatch(context.Background(), run, queries, opts)
+	if err != nil {
+		t.Fatalf("a poisoned query must not fail the batch call: %v", err)
+	}
+	panics := 0
+	for i := range queries {
+		if br.Errs[i] == nil {
+			if cells := br.Results[i].Cells(); len(cells) != 1 || cells[0] != 1 {
+				t.Fatalf("query %d answer wrong: %v", i, cells)
+			}
+			continue
+		}
+		if !strings.Contains(br.Errs[i].Error(), "panic in query batch worker") {
+			t.Fatalf("query %d: unexpected error %v", i, br.Errs[i])
+		}
+		panics++
+	}
+	if panics != 1 {
+		t.Fatalf("exactly one query should have died on the panic, got %d", panics)
+	}
+	if br.Report.Failed != 1 || br.Report.Succeeded != len(queries)-1 {
+		t.Fatalf("report miscounts the poisoned query: %+v", br.Report)
+	}
+}

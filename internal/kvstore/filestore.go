@@ -9,6 +9,28 @@ import (
 	"os"
 	"sort"
 	"sync"
+
+	"subzero/internal/fault"
+)
+
+// Failpoints covering the append/flush path of the log and the commit
+// path of the meta sidecar. The crash-point matrix test iterates every
+// "kvstore/"-prefixed registered point; a new fsync or commit site MUST
+// register one (see CONTRIBUTING). The wrapped file layer adds
+// kvstore/file/write (torn-write capable) and kvstore/file/sync.
+var (
+	fpPut        = fault.Register("kvstore/put")
+	fpPutBatch   = fault.Register("kvstore/putbatch")
+	fpFlush      = fault.Register("kvstore/flush")
+	fpMetaWrite  = fault.Register("kvstore/meta/write")
+	fpMetaSync   = fault.Register("kvstore/meta/sync")
+	fpMetaRename = fault.Register("kvstore/meta/rename")
+	// Registered here as well as by WrapFile (registration is
+	// idempotent) so Registered() inventories the file-layer points
+	// before the first store opens — the crash matrix enumerates them
+	// at test start.
+	_ = fault.Register("kvstore/file/write")
+	_ = fault.Register("kvstore/file/sync")
 )
 
 // FileStore is a log-structured Store: records are appended to a single
@@ -27,7 +49,7 @@ import (
 // recoverable cache" stance.
 type FileStore struct {
 	mu      sync.Mutex
-	f       *os.File
+	f       fault.File
 	w       *bufio.Writer
 	index   map[string]recordRef
 	offset  int64 // next append position
@@ -60,7 +82,10 @@ func OpenFile(path string) (*FileStore, error) {
 		return nil, fmt.Errorf("kvstore: open %s: %w", path, err)
 	}
 	s := &FileStore{
-		f:     f,
+		// The fault wrapper sits below the bufio buffer, so an injected
+		// torn write leaves exactly what a crashed process would: a
+		// partial frame at the file tail.
+		f:     fault.WrapFile("kvstore/file", f),
 		index: make(map[string]recordRef),
 		path:  path,
 	}
@@ -68,11 +93,11 @@ func OpenFile(path string) (*FileStore, error) {
 		f.Close()
 		return nil, err
 	}
-	if _, err := f.Seek(s.offset, io.SeekStart); err != nil {
+	if _, err := s.f.Seek(s.offset, io.SeekStart); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("kvstore: seek %s: %w", path, err)
 	}
-	s.w = bufio.NewWriterSize(f, writeBufBytes)
+	s.w = bufio.NewWriterSize(s.f, writeBufBytes)
 	if info, err := os.Stat(s.metaPath()); err == nil {
 		s.metaLen = info.Size()
 	}
@@ -141,6 +166,9 @@ func (s *FileStore) Put(key, val []byte) error {
 	if s.closed {
 		return ErrClosed
 	}
+	if err := fault.Inject(fpPut); err != nil {
+		return err
+	}
 	framing := uvarintLen(uint64(len(key))) + uvarintLen(uint64(len(val)))
 	body := make([]byte, framing+len(key)+len(val))
 	n := binary.PutUvarint(body, uint64(len(key)))
@@ -171,6 +199,9 @@ func (s *FileStore) PutBatch(kvs []KV) error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
+	}
+	if err := fault.Inject(fpPutBatch); err != nil {
+		return err
 	}
 	// Validate the whole batch before writing any of it, so an oversized
 	// record cannot leave a durably applied prefix behind an error.
@@ -229,6 +260,9 @@ func (s *FileStore) CommitMeta(val []byte) error {
 	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(val, crcTable))
 	buf = append(buf, crc[:]...)
 	buf = append(buf, val...)
+	if err := fault.Inject(fpMetaWrite); err != nil {
+		return fmt.Errorf("kvstore: write meta temp: %w", err)
+	}
 	tmp := s.metaPath() + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -241,12 +275,18 @@ func (s *FileStore) CommitMeta(val []byte) error {
 	// new one — exactly the half-load this API exists to prevent. (The
 	// directory entry itself is not fsynced; losing the rename leaves
 	// the previous valid blob, which is fine.)
-	serr := f.Sync()
+	serr := fault.Inject(fpMetaSync)
+	if serr == nil {
+		serr = f.Sync()
+	}
 	cerr := f.Close()
 	for _, err := range []error{werr, serr, cerr} {
 		if err != nil {
 			return fmt.Errorf("kvstore: write meta temp: %w", err)
 		}
+	}
+	if err := fault.Inject(fpMetaRename); err != nil {
+		return fmt.Errorf("kvstore: commit meta: %w", err)
 	}
 	if err := os.Rename(tmp, s.metaPath()); err != nil {
 		return fmt.Errorf("kvstore: commit meta: %w", err)
@@ -420,6 +460,9 @@ func (s *FileStore) Sync() error {
 func (s *FileStore) flushLocked() error {
 	if !s.dirty {
 		return nil
+	}
+	if err := fault.Inject(fpFlush); err != nil {
+		return err
 	}
 	if err := s.w.Flush(); err != nil {
 		return fmt.Errorf("kvstore: flush: %w", err)

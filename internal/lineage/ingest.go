@@ -8,7 +8,17 @@ import (
 	"sync/atomic"
 	"time"
 
+	"subzero/internal/fault"
 	"subzero/internal/obs"
+)
+
+// Failpoints covering the async capture path: a shard worker applying a
+// batch (error and panic actions exercise the latched-error and panic-
+// containment contracts) and the drain barrier (delay actions widen the
+// lookup/ingest race window deterministically).
+var (
+	fpIngestBatch = fault.Register("lineage/ingest/batch")
+	fpIngestDrain = fault.Register("lineage/ingest/drain")
 )
 
 // This file is the sharded asynchronous ingest pipeline: the write half
@@ -176,7 +186,7 @@ func (c *Coordinator) worker(idx int, sh *ingestShard) {
 			continue
 		}
 		start := time.Now()
-		err := t.store.ingestBatch(t.pairs, t.ids)
+		err := c.runBatch(t.store, t.pairs, t.ids)
 		elapsed := time.Since(start)
 		t.store.AddWriteTime(elapsed)
 		c.inFlight.Add(-1)
@@ -191,6 +201,23 @@ func (c *Coordinator) worker(idx int, sh *ingestShard) {
 			c.fail(err)
 		}
 	}
+}
+
+// runBatch applies one batch with panic containment: a panicking encode
+// or commit (a poisoned pair block) becomes a latched pipeline error that
+// fails this run's capture, while the worker goroutine survives to keep
+// draining its queue — producers blocked on the shard channel and drain
+// barriers must never deadlock on a dead worker.
+func (c *Coordinator) runBatch(store *Store, pairs []RegionPair, ids []uint64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fault.AsError("lineage ingest shard worker", r)
+		}
+	}()
+	if err := fault.Inject(fpIngestBatch); err != nil {
+		return err
+	}
+	return store.ingestBatch(pairs, ids)
 }
 
 // shardOf picks the shard for one pair: the partition key is the pair's
@@ -303,6 +330,10 @@ func (c *Coordinator) Barrier() error {
 	// coordinator) from paying a full pipeline drain each call.
 	if c.inFlight.Load() == 0 {
 		return c.Err()
+	}
+	if err := fault.Inject(fpIngestDrain); err != nil {
+		c.fail(err)
+		return err
 	}
 	start := time.Now()
 	var wg sync.WaitGroup

@@ -155,7 +155,9 @@ func (s *Store) lookupFullOne(sp *trace.Span, q, dst *bitmap.Bitmap, slot, input
 			if !ok {
 				return true
 			}
-			sc.ids, err = appendIDList(sc.ids, val)
+			if sc.ids, err = appendIDList(sc.ids, val); err != nil {
+				err = s.corruptf(err)
+			}
 			return err == nil
 		})
 		ksp.End()
@@ -269,7 +271,7 @@ func (s *Store) backwardPayOne(sp *trace.Span, q, dst *bitmap.Bitmap, inputIdx i
 				dst.SetCells(buf)
 				return nil
 			}); perr != nil {
-				err = perr
+				err = s.corruptf(perr)
 				return false
 			}
 			if covered != nil {
@@ -426,7 +428,7 @@ func (s *Store) forwardPayOneScan(q, dst *bitmap.Bitmap, inputIdx int, mapp Payl
 			return nil
 		})
 		if err != nil && !errors.Is(err, errPayloadHit) {
-			return false, err
+			return false, s.corruptf(err)
 		}
 		return true, nil
 	})

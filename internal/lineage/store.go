@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"subzero/internal/fault"
 	"subzero/internal/grid"
 	"subzero/internal/kvstore"
 	"subzero/internal/rtree"
@@ -19,6 +20,20 @@ import (
 // optimizer when materialized-lineage access exceeds its budget and the
 // executor falls back to re-running the operator (paper §VII-A).
 var ErrAborted = errors.New("lineage: lookup aborted by query-time optimizer")
+
+// ErrCorrupt marks a CRC/decode failure discovered at lookup time: a
+// record the hashtable returned but the codec cannot make sense of, or a
+// per-cell entry referencing a pair id the store does not hold. Lookups
+// returning it have already marked the store degraded; the query executor
+// answers via operator re-execution (the same fallback as ErrAborted) and
+// the system schedules a background rebuild. Lineage is a recoverable
+// cache — corruption degrades one store, never the daemon.
+var ErrCorrupt = errors.New("lineage: store corrupt")
+
+// fpDecode injects a decode failure at the record-lookup site, simulating
+// the corruption a bit-flip or software bug would produce past the kv
+// layer's CRC.
+var fpDecode = fault.Register("lineage/lookup/decode")
 
 // StoreStats aggregates what the statistics collector records about one
 // store's write path; the optimizer's cost model is calibrated from these.
@@ -139,6 +154,11 @@ type Store struct {
 	// exclusive gate described above.
 	ingest atomic.Pointer[Coordinator]
 	liveMu sync.RWMutex
+
+	// degraded latches when a lookup hits corruption (see ErrCorrupt);
+	// healing claims the store for a single background rebuild.
+	degraded atomic.Bool
+	healing  atomic.Bool
 }
 
 const (
@@ -376,6 +396,36 @@ func (s *Store) rebuildMeta() error {
 
 // Strategy returns the store's strategy.
 func (s *Store) Strategy() Strategy { return s.strat }
+
+// Degraded reports whether a lookup has hit corruption in this store.
+// A degraded store still answers queries — the executor falls back to
+// operator re-execution — until a background rebuild replaces it.
+func (s *Store) Degraded() bool { return s.degraded.Load() }
+
+// MarkDegraded latches the degraded flag. Lookup paths call it through
+// corruptf; tests and the rebuild coordinator may call it directly.
+func (s *Store) MarkDegraded() { s.degraded.Store(true) }
+
+// ClearDegraded re-arms the store after a successful rebuild.
+func (s *Store) ClearDegraded() { s.degraded.Store(false) }
+
+// BeginHeal claims the store for one background rebuild; the second and
+// later claimants get false, so concurrent corrupt lookups schedule a
+// single rebuild. EndHeal releases the claim.
+func (s *Store) BeginHeal() bool { return s.healing.CompareAndSwap(false, true) }
+
+// EndHeal releases the rebuild claim taken by BeginHeal.
+func (s *Store) EndHeal() { s.healing.Store(false) }
+
+// Healing reports whether a background rebuild currently owns the store.
+func (s *Store) Healing() bool { return s.healing.Load() }
+
+// corruptf marks the store degraded and wraps err so it matches both
+// ErrCorrupt and the original cause via errors.Is.
+func (s *Store) corruptf(err error) error {
+	s.degraded.Store(true)
+	return fmt.Errorf("%w: %w", ErrCorrupt, err)
+}
 
 // Stats returns the accumulated write statistics, merging the atomic
 // duration counters into the volume snapshot.
@@ -882,16 +932,21 @@ func (s *Store) getRecord(id uint64) (*record, error) {
 	if ok {
 		return rec, nil
 	}
+	if err := fault.Inject(fpDecode); err != nil {
+		return nil, s.corruptf(err)
+	}
 	val, ok, err := s.kv.Get(pairKey(id))
 	if err != nil {
 		return nil, err
 	}
 	if !ok {
-		return nil, fmt.Errorf("lineage: dangling pair id %d", id)
+		// A cell entry or index item references a record the hashtable
+		// does not hold: the store's invariants are broken, not the query.
+		return nil, s.corruptf(fmt.Errorf("lineage: dangling pair id %d", id))
 	}
 	rec, err = decodeRecord(val)
 	if err != nil {
-		return nil, err
+		return nil, s.corruptf(err)
 	}
 	s.mu.Lock()
 	if len(s.recCache) >= recCacheLimit {
@@ -911,12 +966,12 @@ func (s *Store) scanRecords(fn func(id uint64, rec *record) (bool, error)) error
 		}
 		id, n := binary.Uvarint(key[1:])
 		if n <= 0 {
-			scanErr = fmt.Errorf("lineage: corrupt pair key")
+			scanErr = s.corruptf(fmt.Errorf("lineage: corrupt pair key"))
 			return false
 		}
 		rec, err := decodeRecord(val)
 		if err != nil {
-			scanErr = err
+			scanErr = s.corruptf(err)
 			return false
 		}
 		cont, err := fn(id, rec)

@@ -7,6 +7,7 @@ func All() []*Analyzer {
 		CtxFlow,
 		FixedEnc,
 		PoolReturn,
+		RecoverCheck,
 		WireTag,
 	}
 }

@@ -32,6 +32,10 @@ func TestFixedEnc(t *testing.T) {
 		"./testdata/src/fixedenc/lineage", "./testdata/src/fixedenc/other")
 }
 
+func TestRecoverCheck(t *testing.T) {
+	linttest.Run(t, lint.RecoverCheck, "./testdata/src/recovercheck")
+}
+
 func TestWireTag(t *testing.T) {
 	linttest.Run(t, lint.WireTag, "./testdata/src/wiretag")
 }

@@ -137,9 +137,18 @@ func (e *Executor) executeStep(ctx context.Context, d Direction, st Step, cur *b
 	}()
 
 	if runErr != nil {
-		if !errors.Is(runErr, lineage.ErrAborted) {
+		corrupt := errors.Is(runErr, lineage.ErrCorrupt)
+		if !corrupt && !errors.Is(runErr, lineage.ErrAborted) {
 			stepPool.Put(next)
 			return report, nil, runErr
+		}
+		if corrupt {
+			// Corruption quarantine: the store has already latched its
+			// degraded flag; hand it to the healer for a background
+			// rebuild and answer this query through re-execution — the
+			// same fallback an optimizer abort takes, because replay is
+			// ground truth for the lineage the store failed to serve.
+			e.notifyDegraded(st.Node)
 		}
 		if !next.Full() {
 			// Genuine abort: discard partial work and re-execute.
@@ -151,7 +160,9 @@ func (e *Executor) executeStep(ctx context.Context, d Direction, st Step, cur *b
 				return report, nil, err
 			}
 		}
-		// A "full" abort is the early-close optimization succeeding.
+		// A "full" abort is the early-close optimization succeeding:
+		// lineage lookups only ever set true positives, so a saturated
+		// intermediate is exact no matter why the path stopped early.
 	}
 	report.OutCells = next.Count()
 	report.Elapsed = time.Since(start)

@@ -112,11 +112,19 @@ func (r *Result) Cells() []uint64 { return r.Bitmap.Cells(nil) }
 // each Execute call, and run state (lineage stores, statistics) is read
 // through internally synchronized paths.
 type Executor struct {
-	run   *workflow.Run
-	stats *lineage.Collector
-	opts  Options
-	obs   *obs.QueryObs
+	run    *workflow.Run
+	stats  *lineage.Collector
+	opts   Options
+	obs    *obs.QueryObs
+	healer Healer
 }
+
+// Healer is notified when a query trips over a corrupt lineage store.
+// The store has already latched its degraded flag; the healer's job is
+// to schedule a background rebuild. Implementations must deduplicate
+// concurrent notifications themselves (Store.BeginHeal is the intended
+// claim mechanism) and must not block: it is called on the query path.
+type Healer func(nodeID string, st *lineage.Store)
 
 // New creates an executor over a run. stats may be nil to skip collection.
 func New(run *workflow.Run, stats *lineage.Collector, opts Options) *Executor {
@@ -132,6 +140,27 @@ func New(run *workflow.Run, stats *lineage.Collector, opts Options) *Executor {
 func (e *Executor) WithObs(o *obs.QueryObs) *Executor {
 	e.obs = o
 	return e
+}
+
+// WithHealer attaches a corruption-recovery hook and returns the
+// executor for chaining. A nil healer (the default) means corrupt
+// stores still degrade and queries still fall back to re-execution,
+// but nothing schedules a rebuild.
+func (e *Executor) WithHealer(h Healer) *Executor {
+	e.healer = h
+	return e
+}
+
+// notifyDegraded hands every degraded store of a node to the healer.
+func (e *Executor) notifyDegraded(nodeID string) {
+	if e.healer == nil {
+		return
+	}
+	for _, st := range e.run.Stores(nodeID) {
+		if st.Degraded() {
+			e.healer(nodeID, st)
+		}
+	}
 }
 
 // Validate checks that the query's path follows actual workflow edges and

@@ -1,0 +1,155 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"subzero"
+	"subzero/client"
+	"subzero/internal/fault"
+	"subzero/internal/server"
+)
+
+// TestHandlerPanicContainment: a panic inside a handler becomes a
+// structured 500 carrying the request's trace ID, and the daemon keeps
+// serving — one poisoned request never takes the process down.
+func TestHandlerPanicContainment(t *testing.T) {
+	defer fault.Reset()
+	ctx := context.Background()
+	_, _, c := newTestService(t, nil)
+
+	if err := fault.Arm("server/handler", fault.Action{Kind: fault.KindPanic, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Health(ctx)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 500 {
+		t.Fatalf("panicked handler error = %v, want 500", err)
+	}
+	if !strings.Contains(apiErr.Message, "panic") {
+		t.Fatalf("panic not surfaced in the error: %q", apiErr.Message)
+	}
+	if apiErr.TraceID == "" {
+		t.Fatalf("500 from a panic must carry a trace ID for /v1/traces: %+v", apiErr)
+	}
+
+	// The panic was contained: the very next request is served normally.
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("daemon did not survive the panic: %v %+v", err, h)
+	}
+}
+
+// TestHandlerErrorInjection: the same failpoint armed with an error
+// action produces a plain traced 500 without touching the recover path.
+func TestHandlerErrorInjection(t *testing.T) {
+	defer fault.Reset()
+	_, _, c := newTestService(t, nil)
+	if err := fault.Arm("server/handler", fault.Action{Kind: fault.KindError, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Health(context.Background())
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 500 || apiErr.TraceID == "" {
+		t.Fatalf("injected handler error = %v, want traced 500", err)
+	}
+}
+
+// TestRetryAfterDraining: shedding 503s during a timed drain advertise a
+// Retry-After computed from the remaining drain window, not a constant.
+func TestRetryAfterDraining(t *testing.T) {
+	sys, err := subzero.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	srv, err := server.New(server.Config{System: sys, MaxInFlight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	srv.DrainFor(42 * time.Second)
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json",
+		bytes.NewReader([]byte(`{"workflow":"genomics"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("execute during drain = %d, want 503", resp.StatusCode)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q is not numeric: %v", resp.Header.Get("Retry-After"), err)
+	}
+	// The drain window is 42s, so the advice must span (most of) its
+	// remainder — a hard-coded "1" fails here.
+	if secs < 30 || secs > 42 {
+		t.Fatalf("Retry-After = %ds, want the ~42s drain remainder", secs)
+	}
+}
+
+// TestServerQueryTimeout: a query that outlives the server-side deadline
+// answers 504 — distinguishable from the 499 of a client hangup.
+func TestServerQueryTimeout(t *testing.T) {
+	op := &slowTraceOp{
+		Meta:    subzero.Meta{OpName: "slow-trace", NIn: 1, Modes: []subzero.Mode{subzero.Full}},
+		started: make(chan struct{}),
+	}
+	catalog := server.NewCatalog()
+	if err := catalog.Register(&server.Workflow{
+		Name: "gate",
+		Build: func(scale float64, seed int64) (*subzero.Spec, map[string]*subzero.Array, error) {
+			spec := subzero.NewSpec("gate")
+			spec.Add("slow", op, subzero.FromExternal("src"))
+			src, err := subzero.NewArray("src", subzero.Shape{8, 8})
+			if err != nil {
+				return nil, nil, err
+			}
+			return spec, map[string]*subzero.Array{"src": src}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := subzero.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	srv, err := server.New(server.Config{
+		System: sys, Catalog: catalog, MaxInFlight: 4,
+		QueryTimeout: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := client.New(ts.URL)
+
+	ctx := context.Background()
+	info, err := c.Execute(ctx, subzero.WireExecuteRequest{Workflow: "gate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The query's only access path is re-executing the slow operator in
+	// tracing mode, which streams pairs until its context dies — here,
+	// the server's own query deadline.
+	_, err = c.Query(ctx, info.ID, subzero.BackwardQuery([]uint64{0}, subzero.Step{Node: "slow"}), nil)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusGatewayTimeout {
+		t.Fatalf("slow query error = %v, want 504", err)
+	}
+	if !strings.Contains(apiErr.Message, "query timeout") {
+		t.Fatalf("504 lacks the timeout explanation: %q", apiErr.Message)
+	}
+}

@@ -36,10 +36,17 @@ import (
 	"time"
 
 	"subzero"
+	"subzero/internal/fault"
 	"subzero/internal/kvstore"
 	"subzero/internal/obs"
 	"subzero/internal/trace"
 )
+
+// fpHandler aborts a request at the top of its handler: armed with a
+// panic action it exercises the containment middleware; armed with an
+// error action it produces a plain 500. Tests arm it to prove one
+// poisoned request never takes the daemon down.
+var fpHandler = fault.Register("server/handler")
 
 // DefaultMaxInFlight bounds concurrently served heavy requests when the
 // config leaves MaxInFlight unset.
@@ -75,6 +82,11 @@ type Config struct {
 	// SlowQuery, when > 0, logs one structured line per lineage query
 	// whose end-to-end latency reaches the threshold.
 	SlowQuery time.Duration
+	// QueryTimeout, when > 0, bounds each query and query-batch request:
+	// the request context gets a server-imposed deadline, and a query
+	// that exceeds it fails with 504 (distinguishable from a client
+	// disconnect, which stays a cancellation).
+	QueryTimeout time.Duration
 	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
 	// default: profiles expose internals and cost CPU to capture.
 	EnablePprof bool
@@ -92,17 +104,22 @@ type Metrics struct {
 
 // Server is the HTTP handler for the lineage service.
 type Server struct {
-	sys       *subzero.System
-	catalog   *Catalog
-	mux       *http.ServeMux
-	sem       chan struct{}
-	logger    *slog.Logger
-	obs       *obs.Set
-	tracer    *trace.Tracer
-	slowQuery time.Duration
-	started   time.Time
+	sys          *subzero.System
+	catalog      *Catalog
+	mux          *http.ServeMux
+	sem          chan struct{}
+	logger       *slog.Logger
+	obs          *obs.Set
+	tracer       *trace.Tracer
+	slowQuery    time.Duration
+	queryTimeout time.Duration
+	started      time.Time
 
 	draining atomic.Bool
+	// drainDeadline is the unix-nano instant the drain window closes
+	// (0 when Drain was called without one); shed clients get a
+	// Retry-After spanning the remainder.
+	drainDeadline atomic.Int64
 
 	requests     atomic.Int64
 	inFlight     atomic.Int64
@@ -133,15 +150,16 @@ func New(cfg Config) (*Server, error) {
 		cfg.Tracer = trace.New(trace.Config{Sample: 1, Slow: cfg.SlowQuery})
 	}
 	s := &Server{
-		sys:       cfg.System,
-		catalog:   cfg.Catalog,
-		mux:       http.NewServeMux(),
-		sem:       make(chan struct{}, cfg.MaxInFlight),
-		logger:    cfg.Logger,
-		obs:       cfg.Obs,
-		tracer:    cfg.Tracer,
-		slowQuery: cfg.SlowQuery,
-		started:   time.Now(),
+		sys:          cfg.System,
+		catalog:      cfg.Catalog,
+		mux:          http.NewServeMux(),
+		sem:          make(chan struct{}, cfg.MaxInFlight),
+		logger:       cfg.Logger,
+		obs:          cfg.Obs,
+		tracer:       cfg.Tracer,
+		slowQuery:    cfg.SlowQuery,
+		queryTimeout: cfg.QueryTimeout,
+		started:      time.Now(),
 	}
 	s.handle("GET /v1/healthz", s.handleHealth)
 	s.handle("GET /v1/metrics", s.handleMetrics)
@@ -189,7 +207,7 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 			w.Header().Set("Traceparent", sp.Traceparent())
 			r = r.WithContext(trace.ContextWithSpan(r.Context(), sp))
 		}
-		h(w, r)
+		s.invoke(pattern, h, sp, w, r)
 		if rec, ok := w.(*statusRecorder); ok && sp != nil {
 			sp.SetAttrInt("status", int64(rec.status))
 		}
@@ -197,6 +215,44 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 		requests.Inc()
 		latency.ObserveSince(start)
 	})
+}
+
+// invoke runs one handler with panic containment. A panicking handler —
+// an operator bug reached through query re-execution, a poisoned
+// request, an armed failpoint — must cost exactly one 500, not the
+// daemon: the panic is logged with its stack and, when the response has
+// not started, answered with a structured error carrying the trace ID.
+// A response already underway is left alone (the status line is gone;
+// the client sees a truncated body and the connection is reused or
+// closed by net/http as appropriate).
+func (s *Server) invoke(pattern string, h http.HandlerFunc, sp *trace.Span, w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		perr := fault.AsError("handler "+pattern, rec)
+		if s.logger != nil {
+			s.logger.Error("handler panic",
+				"pattern", pattern,
+				"trace_id", sp.TraceIDString(),
+				"err", perr,
+				"stack", string(perr.Stack))
+		}
+		if sr, ok := w.(*statusRecorder); ok && sr.wrote {
+			// The status line is gone; count the fault ourselves since
+			// ServeHTTP's by-status accounting saw whatever the handler
+			// managed to write before dying.
+			s.serverErrors.Add(1)
+			return
+		}
+		s.writeErrorTraced(w, sp.TraceIDString(), http.StatusInternalServerError, "%v", perr)
+	}()
+	if err := fault.Inject(fpHandler); err != nil {
+		s.writeErrorTraced(w, sp.TraceIDString(), http.StatusInternalServerError, "%v", err)
+		return
+	}
+	h(w, r)
 }
 
 // ServeHTTP implements http.Handler with request accounting. Individual
@@ -217,7 +273,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Drain marks the server as draining: health checks flip to 503 and new
 // heavy requests are rejected, while requests already in flight run to
 // completion. Call before http.Server.Shutdown.
-func (s *Server) Drain() { s.draining.Store(true) }
+func (s *Server) Drain() { s.DrainFor(0) }
+
+// DrainFor is Drain with the drain window recorded: shed clients get a
+// Retry-After spanning the window's remainder, after which a restarted
+// (or failed-over) instance can serve them. timeout <= 0 records no
+// deadline and rejections fall back to the slot-turnover estimate.
+func (s *Server) DrainFor(timeout time.Duration) {
+	if timeout > 0 {
+		s.drainDeadline.Store(time.Now().Add(timeout).UnixNano())
+	}
+	s.draining.Store(true)
+}
 
 // Draining reports whether Drain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -255,15 +322,24 @@ func (s *Server) Summary() string {
 	return b.String()
 }
 
-// statusRecorder captures the response status for logging and metrics.
+// statusRecorder captures the response status for logging and metrics,
+// and whether the response has started — the panic middleware may only
+// substitute a structured 500 while nothing has been written.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
+	r.wrote = true
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(p)
 }
 
 // limited enforces the bounded in-flight cap and the drain flag around a
@@ -273,6 +349,7 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 		if s.draining.Load() {
 			s.rejected.Add(1)
 			s.obs.HTTP.Shed.Inc()
+			w.Header().Set("Retry-After", s.retryAfterDraining())
 			s.writeError(w, http.StatusServiceUnavailable, "server is draining")
 			return
 		}
@@ -281,7 +358,7 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 		default:
 			s.rejected.Add(1)
 			s.obs.HTTP.Shed.Inc()
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfterCapacity())
 			s.writeError(w, http.StatusServiceUnavailable, "server at capacity (%d requests in flight)", cap(s.sem))
 			return
 		}
@@ -296,17 +373,73 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// retryAfterCapacity estimates how long a shed client should wait for an
+// in-flight slot to free. With every slot busy, the expected time until
+// the first of them finishes is roughly the median query latency divided
+// by the number in flight; with no latency history yet the 1s floor
+// applies. Clamped to [1, 30] seconds — Retry-After is advice, not a
+// schedule, and a stale large value parks clients for no reason.
+func (s *Server) retryAfterCapacity() string {
+	var p50 int64
+	for i := range s.obs.Query.Latency {
+		snap := s.obs.Query.Latency[i].Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		if q := snap.Quantile(0.50); q > p50 {
+			p50 = q
+		}
+	}
+	inFlight := s.inFlight.Load()
+	if inFlight < 1 {
+		inFlight = 1
+	}
+	secs := int64(time.Duration(p50/inFlight) / time.Second)
+	return clampRetrySeconds(secs, 30)
+}
+
+// retryAfterDraining spans the remaining drain window when DrainFor
+// recorded one — the earliest a replacement instance can be listening —
+// and otherwise falls back to the capacity estimate.
+func (s *Server) retryAfterDraining() string {
+	deadline := s.drainDeadline.Load()
+	if deadline == 0 {
+		return s.retryAfterCapacity()
+	}
+	secs := int64(time.Until(time.Unix(0, deadline)) / time.Second)
+	return clampRetrySeconds(secs, 60)
+}
+
+func clampRetrySeconds(secs, max int64) string {
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > max {
+		secs = max
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
 // ---------------------------------------------------------------------
 // Handlers
 // ---------------------------------------------------------------------
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	degraded := s.sys.DegradedStores()
+	healing := 0
+	for _, d := range degraded {
+		if d.Healing {
+			healing++
+		}
+	}
 	health := subzero.WireHealth{
 		Status:           "ok",
 		UptimeNS:         time.Since(s.started).Nanoseconds(),
 		Runs:             len(s.sys.Runs()),
 		InFlight:         s.inFlight.Load(),
 		IngestQueueDepth: s.obs.Ingest.QueueDepth.Load(),
+		DegradedStores:   len(degraded),
+		HealingStores:    healing,
 	}
 	status := http.StatusOK
 	if s.draining.Load() {
@@ -357,7 +490,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ServerErrors: m.ServerErrors,
 		},
 		Workload: subzero.NewWireWorkloadProfile(s.obs),
+		Degraded: subzero.NewWireDegradedStores(s.sys.DegradedStores()),
+		Heals:    wireHealStats(s.sys),
 	})
+}
+
+func wireHealStats(sys *subzero.System) subzero.WireHealStats {
+	attempts, successes, failures := sys.HealCounts()
+	return subzero.WireHealStats{Attempts: attempts, Successes: successes, Failures: failures}
 }
 
 // handleListTraces serves summaries of retained traces, newest first.
@@ -511,7 +651,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, err := s.sys.QueryWith(r.Context(), run, q, req.Options.Options())
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	res, err := s.sys.QueryWith(ctx, run, q, req.Options.Options())
 	if err != nil {
 		s.writeSystemError(w, r, err)
 		return
@@ -542,7 +684,9 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		queries[i] = q
 	}
-	br, err := s.sys.QueryBatch(r.Context(), run, queries, req.Options.Options())
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	br, err := s.sys.QueryBatch(ctx, run, queries, req.Options.Options())
 	if err != nil {
 		s.writeSystemError(w, r, err)
 		return
@@ -645,6 +789,16 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 // Helpers
 // ---------------------------------------------------------------------
 
+// queryContext derives the execution context for a query handler: the
+// request context (so client disconnects still cancel) bounded by the
+// configured server-side query timeout, when one is set.
+func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.queryTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.queryTimeout)
+}
+
 // resolveRun maps the {id} path segment to a registered run, writing a
 // structured 404 when it is unknown.
 func (s *Server) resolveRun(w http.ResponseWriter, r *http.Request) (*subzero.Run, bool) {
@@ -702,17 +856,31 @@ func (s *Server) writeSystemError(w http.ResponseWriter, r *http.Request, err er
 	switch {
 	case isCancellation(r, err):
 		s.abortCancelled(w, r, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		// The request context is alive (isCancellation said no), so the
+		// deadline that fired is the server's own query timeout.
+		s.writeError(w, http.StatusGatewayTimeout,
+			"query exceeded the server query timeout (%s): %v", s.queryTimeout, err)
 	case errors.Is(err, kvstore.ErrClosed):
 		s.writeError(w, http.StatusNotFound, "run was dropped mid-request: %v", err)
 	default:
-		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		s.writeErrorTraced(w, trace.FromContext(r.Context()).TraceIDString(),
+			http.StatusInternalServerError, "%v", err)
 	}
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeErrorTraced(w, "", status, format, args...)
+}
+
+// writeErrorTraced is writeError carrying the request's trace ID, quoted
+// on server faults so a client report resolves to evidence at
+// /v1/traces/{id} while the trace is retained.
+func (s *Server) writeErrorTraced(w http.ResponseWriter, traceID string, status int, format string, args ...any) {
 	s.writeJSON(w, status, subzero.WireError{Error: subzero.WireErrorBody{
 		Status:  status,
 		Message: fmt.Sprintf(format, args...),
+		TraceID: traceID,
 	}})
 }
 

@@ -2,7 +2,9 @@ package server_test
 
 import (
 	"context"
+	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -346,6 +348,20 @@ func TestServerRejectsOverCapacity(t *testing.T) {
 	}
 	if !strings.Contains(apiErr.Message, "capacity") {
 		t.Fatalf("unstructured capacity error: %q", apiErr.Message)
+	}
+	// The shed response must carry computed Retry-After advice so clients
+	// back off for a span derived from observed latency, not a constant.
+	resp, err := http.Post(ts.URL+"/v1/runs/"+info.ID+"/query-batch", "application/json",
+		strings.NewReader(`{"queries":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("raw over-capacity status = %d, want 503", resp.StatusCode)
+	}
+	if _, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil {
+		t.Fatalf("Retry-After %q is not numeric: %v", resp.Header.Get("Retry-After"), err)
 	}
 	if srv.MetricsSnapshot().Rejected == 0 {
 		t.Fatal("rejection not counted")

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -53,6 +54,10 @@ type Executor struct {
 	// pipeline counters across every run for the serving layer.
 	ingestCfg     lineage.IngestConfig
 	ingestMetrics lineage.IngestMetrics
+
+	// healSeq distinguishes the kvstore namespaces of successive store
+	// rebuilds, so a rebuild never reopens the corrupt log it replaces.
+	healSeq atomic.Int64
 }
 
 // NewExecutor creates an executor.
@@ -96,8 +101,13 @@ type Run struct {
 
 	inputs  map[string][]*array.Array
 	outputs map[string]*array.Array
-	stores  map[string][]*lineage.Store
 	mapCtxs map[string]*MapCtx
+
+	// storesMu guards the stores map once the run is live: queries read
+	// it while a background rebuild (Executor.RebuildStore) swaps a
+	// degraded store for its healed replacement.
+	storesMu sync.RWMutex
+	stores   map[string][]*lineage.Store
 
 	// Elapsed is total workflow wall-clock time; LineageOverhead is the
 	// part spent inside the lwrite API and store flushes.
@@ -344,8 +354,49 @@ func (r *Run) Inputs(nodeID string) ([]*array.Array, error) {
 }
 
 // Stores returns the lineage stores materialized for a node (nil for
-// Blackbox/Map-only nodes).
-func (r *Run) Stores(nodeID string) []*lineage.Store { return r.stores[nodeID] }
+// Blackbox/Map-only nodes). The slice is a snapshot: a background rebuild
+// may swap a degraded store for its replacement at any time, and callers
+// holding an older snapshot simply keep using the store they resolved.
+func (r *Run) Stores(nodeID string) []*lineage.Store {
+	r.storesMu.RLock()
+	defer r.storesMu.RUnlock()
+	list := r.stores[nodeID]
+	if len(list) == 0 {
+		return nil
+	}
+	out := make([]*lineage.Store, len(list))
+	copy(out, list)
+	return out
+}
+
+// EachStore visits every lineage store attached to the run. The health
+// and stats endpoints use it to surface degraded stores.
+func (r *Run) EachStore(fn func(nodeID string, st *lineage.Store)) {
+	r.storesMu.RLock()
+	defer r.storesMu.RUnlock()
+	for nodeID, list := range r.stores {
+		for _, st := range list {
+			fn(nodeID, st)
+		}
+	}
+}
+
+// swapStore replaces old with fresh in the node's store list, returning
+// false when old is no longer attached (already swapped, or the run was
+// released). Lookups holding the old pointer keep using it — the corrupt
+// store stays open and they fall back to re-execution again — while every
+// new lookup resolves the healed replacement.
+func (r *Run) swapStore(nodeID string, old, fresh *lineage.Store) bool {
+	r.storesMu.Lock()
+	defer r.storesMu.Unlock()
+	for i, st := range r.stores[nodeID] {
+		if st == old {
+			r.stores[nodeID][i] = fresh
+			return true
+		}
+	}
+	return false
+}
 
 // MapCtx returns the node's mapping-function context.
 func (r *Run) MapCtx(nodeID string) (*MapCtx, error) {
@@ -371,6 +422,8 @@ type CaptureStats struct {
 // CaptureStats aggregates the run's store statistics.
 func (r *Run) CaptureStats() CaptureStats {
 	var cs CaptureStats
+	r.storesMu.RLock()
+	defer r.storesMu.RUnlock()
 	for _, stores := range r.stores {
 		for _, st := range stores {
 			ss := st.Stats()
@@ -391,6 +444,8 @@ func (r *Run) CaptureStats() CaptureStats {
 // run — the disk-overhead quantity of Figures 5(a), 6(a), 7(a).
 func (r *Run) LineageBytes() int64 {
 	var total int64
+	r.storesMu.RLock()
+	defer r.storesMu.RUnlock()
 	for _, stores := range r.stores {
 		for _, st := range stores {
 			total += st.SizeBytes()
@@ -471,6 +526,75 @@ func EmitMappedPairs(rc *RunCtx, mc *MapCtx, op BackwardMapper) error {
 		if err := rc.LWrite(outBuf, ins...); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// RebuildStore re-materializes one degraded lineage store by re-running
+// its node under the same strategy into a fresh kvstore namespace, then
+// swapping the healed store into the run — the self-heal path behind
+// "lineage is a recoverable cache". The rebuild reuses the capture
+// pipeline of a normal execution (including the sharded ingest
+// coordinator when configured), so a healed store is byte-identical to
+// one written by the original run. The corrupt store is left open and
+// detached: lookups that resolved it before the swap keep falling back
+// to re-execution, and its log is freed with the run.
+func (e *Executor) RebuildStore(ctx context.Context, run *Run, nodeID string, st *lineage.Store) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	node := run.Spec.Node(nodeID)
+	if node == nil {
+		return fmt.Errorf("workflow: rebuild: unknown node %q", nodeID)
+	}
+	ins, err := run.Inputs(nodeID)
+	if err != nil {
+		return fmt.Errorf("workflow: rebuild %q: %w", nodeID, err)
+	}
+	mc, err := run.MapCtx(nodeID)
+	if err != nil {
+		return fmt.Errorf("workflow: rebuild %q: %w", nodeID, err)
+	}
+	strat := st.Strategy()
+	ns := fmt.Sprintf("%s/%s/%s@heal%d", run.ID, nodeID, strat.ID(), e.healSeq.Add(1))
+	drop := func() { _, _ = e.manager.DropPrefix(ns) }
+	kv, err := e.manager.Open(ns)
+	if err != nil {
+		return fmt.Errorf("workflow: rebuild %q: %w", nodeID, err)
+	}
+	fresh, err := lineage.OpenStore(kv, strat, mc.OutSpace, mc.InSpaces)
+	if err != nil {
+		drop()
+		return fmt.Errorf("workflow: rebuild %q: %w", nodeID, err)
+	}
+	var fullStores, payStores []*lineage.Store
+	if strat.Mode == lineage.Full {
+		fullStores = []*lineage.Store{fresh}
+	} else {
+		payStores = []*lineage.Store{fresh}
+	}
+	writer := lineage.NewWriter(mc.OutSpace, mc.InSpaces, fullStores, payStores, nil)
+	if e.ingestCfg.Enabled() {
+		coord := lineage.NewCoordinator(ctx, e.ingestCfg, &e.ingestMetrics)
+		defer coord.Close()
+		writer.UseIngest(coord)
+	}
+	rc := NewRunCtx(lineage.NewModeSet(strat.Mode), writer)
+	if _, err := node.Op.Run(rc, ins); err != nil {
+		drop()
+		return fmt.Errorf("workflow: rebuild %q: %w", nodeID, err)
+	}
+	if err := writer.Flush(); err != nil {
+		drop()
+		return fmt.Errorf("workflow: rebuild %q: %w", nodeID, err)
+	}
+	if err := ctx.Err(); err != nil {
+		drop()
+		return fmt.Errorf("workflow: rebuild %q: %w", nodeID, err)
+	}
+	if !run.swapStore(nodeID, st, fresh) {
+		drop()
+		return fmt.Errorf("workflow: rebuild %q: store no longer attached to run %s", nodeID, run.ID)
 	}
 	return nil
 }

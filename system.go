@@ -6,9 +6,11 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"subzero/internal/array"
+	"subzero/internal/fault"
 	"subzero/internal/kvstore"
 	"subzero/internal/lineage"
 	"subzero/internal/obs"
@@ -37,6 +39,10 @@ type System struct {
 	qopts    query.Options
 	par      int
 	obs      *obs.Set
+
+	healAttempts  atomic.Int64
+	healSuccesses atomic.Int64
+	healFailures  atomic.Int64
 
 	mu       sync.RWMutex
 	runs     map[string]*workflow.Run
@@ -232,7 +238,78 @@ func (s *System) QueryWith(ctx context.Context, run RunRef, q Query, opts QueryO
 	if err != nil {
 		return nil, err
 	}
-	return query.New(r, s.stats, opts).WithObs(&s.obs.Query).Execute(ctx, q)
+	return query.New(r, s.stats, opts).WithObs(&s.obs.Query).WithHealer(s.healerFor(r)).Execute(ctx, q)
+}
+
+// healerFor returns the corruption-recovery hook for queries against r.
+// Store.BeginHeal's CAS deduplicates concurrent notifications, so a
+// store corrupt under heavy query traffic is rebuilt exactly once. The
+// rebuild runs detached: the query that tripped over the corruption has
+// already fallen back to re-execution and should not be taxed with the
+// repair.
+func (s *System) healerFor(r *workflow.Run) query.Healer {
+	return func(nodeID string, st *lineage.Store) {
+		if !st.BeginHeal() {
+			return
+		}
+		s.healAttempts.Add(1)
+		go func() {
+			defer st.EndHeal()
+			//lint:ignore subzero/ctxflow the rebuild outlives the query that noticed the corruption
+			if err := s.exec.RebuildStore(context.Background(), r, nodeID, st); err != nil {
+				// The run keeps the degraded store: queries continue to
+				// fall back, and the next corrupt lookup retries the heal.
+				s.healFailures.Add(1)
+				return
+			}
+			s.healSuccesses.Add(1)
+		}()
+	}
+}
+
+// HealCounts reports background rebuild outcomes since startup: rebuilds
+// started, completed (store swapped and re-armed), and failed (store
+// still degraded, queries still falling back).
+func (s *System) HealCounts() (attempts, successes, failures int64) {
+	return s.healAttempts.Load(), s.healSuccesses.Load(), s.healFailures.Load()
+}
+
+// DegradedStore describes one quarantined lineage store: a lookup hit
+// corrupt data, queries against it answer via re-execution, and — if
+// Healing — a background rebuild is in flight.
+type DegradedStore struct {
+	Run      string
+	Node     string
+	Strategy string
+	Healing  bool
+}
+
+// DegradedStores inventories every degraded lineage store across all
+// registered runs, in run-completion order. The serving layer surfaces
+// this in /v1/healthz and /v1/stats.
+func (s *System) DegradedStores() []DegradedStore {
+	s.mu.RLock()
+	order := make([]string, len(s.runOrder))
+	copy(order, s.runOrder)
+	runs := make(map[string]*workflow.Run, len(s.runs))
+	for id, r := range s.runs {
+		runs[id] = r
+	}
+	s.mu.RUnlock()
+	var out []DegradedStore
+	for _, id := range order {
+		runs[id].EachStore(func(nodeID string, st *lineage.Store) {
+			if st.Degraded() {
+				out = append(out, DegradedStore{
+					Run:      id,
+					Node:     nodeID,
+					Strategy: st.Strategy().ID(),
+					Healing:  st.Healing(),
+				})
+			}
+		})
+	}
+	return out
 }
 
 // BatchReport aggregates one QueryBatch call.
@@ -298,7 +375,7 @@ func (s *System) QueryBatch(ctx context.Context, run RunRef, queries []Query, op
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				br.Results[i], br.Errs[i] = query.New(r, s.stats, opts).WithObs(&s.obs.Query).Execute(ctx, queries[i])
+				br.Results[i], br.Errs[i] = s.runBatchQuery(ctx, r, queries[i], opts)
 			}
 		}()
 	}
@@ -326,6 +403,20 @@ dispatch:
 		br.Report.QueryTime += br.Results[i].Elapsed
 	}
 	return br, nil
+}
+
+// runBatchQuery executes one batch query with panic containment: a
+// poisoned query (operator bug, corrupt store tripping an invariant)
+// fails only its own Errs slot with a structured *fault.PanicError. The
+// worker must survive — a dead worker would strand the dispatch loop on
+// an unread channel and deadlock the whole batch.
+func (s *System) runBatchQuery(ctx context.Context, r *workflow.Run, q Query, opts QueryOptions) (res *QueryResult, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			res, err = nil, fault.AsError("query batch worker", rec)
+		}
+	}()
+	return query.New(r, s.stats, opts).WithObs(&s.obs.Query).WithHealer(s.healerFor(r)).Execute(ctx, q)
 }
 
 // Optimize runs the lineage strategy optimizer against a profiling run

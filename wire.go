@@ -574,6 +574,37 @@ func NewWireWorkloadProfile(set *obs.Set) WireWorkloadProfile {
 	return p
 }
 
+// WireDegradedStore describes one quarantined lineage store: corrupt
+// data was detected, queries against it fall back to re-execution, and
+// (if Healing) a background rebuild is in flight.
+type WireDegradedStore struct {
+	Run      string `json:"run"`
+	Node     string `json:"node"`
+	Strategy string `json:"strategy"`
+	Healing  bool   `json:"healing,omitempty"`
+}
+
+// NewWireDegradedStores converts the system's degraded-store inventory
+// to its wire form (nil when nothing is degraded, so healthy stats omit
+// the field entirely).
+func NewWireDegradedStores(ds []DegradedStore) []WireDegradedStore {
+	if len(ds) == 0 {
+		return nil
+	}
+	out := make([]WireDegradedStore, len(ds))
+	for i, d := range ds {
+		out[i] = WireDegradedStore{Run: d.Run, Node: d.Node, Strategy: d.Strategy, Healing: d.Healing}
+	}
+	return out
+}
+
+// WireHealStats reports background store-rebuild outcomes since startup.
+type WireHealStats struct {
+	Attempts  int64 `json:"attempts"`
+	Successes int64 `json:"successes"`
+	Failures  int64 `json:"failures"`
+}
+
 // WireStats is the body of GET /v1/stats.
 type WireStats struct {
 	Runs         int                 `json:"runs"`
@@ -583,6 +614,8 @@ type WireStats struct {
 	Ingest       WireIngestStats     `json:"ingest"`
 	Server       WireServerMetrics   `json:"server"`
 	Workload     WireWorkloadProfile `json:"workload"`
+	Degraded     []WireDegradedStore `json:"degraded,omitempty"`
+	Heals        WireHealStats       `json:"heals"`
 }
 
 // WireHealth is the body of GET /v1/healthz.
@@ -595,6 +628,12 @@ type WireHealth struct {
 	// asynchronous lineage ingest queues, in batches (0 when the
 	// synchronous write path is configured).
 	IngestQueueDepth int64 `json:"ingest_queue_depth"`
+	// DegradedStores counts lineage stores quarantined after a corrupt
+	// lookup. The service stays "ok" while degraded — queries fall back
+	// to re-execution — but operators should expect elevated latency
+	// until the background rebuilds (HealingStores of them) finish.
+	DegradedStores int `json:"degraded_stores"`
+	HealingStores  int `json:"healing_stores"`
 }
 
 // WireTraceSummary is one entry of GET /v1/traces.
@@ -701,8 +740,11 @@ type WireError struct {
 	Error WireErrorBody `json:"error"`
 }
 
-// WireErrorBody is the error payload: the HTTP status and a message.
+// WireErrorBody is the error payload: the HTTP status, a message, and —
+// for server-side faults (5xx) — the trace ID to quote when reporting
+// the failure, resolvable at /v1/traces/{id} while retained.
 type WireErrorBody struct {
 	Status  int    `json:"status"`
 	Message string `json:"message"`
+	TraceID string `json:"trace_id,omitempty"`
 }
