@@ -322,6 +322,17 @@ func (c *Client) Stats(ctx context.Context) (*subzero.WireStats, error) {
 	return &out, nil
 }
 
+// StoreStats fetches the per-store footprint inventory from
+// GET /v1/stats: each lineage store's compressed vs logical bytes and
+// the resulting compression ratio.
+func (c *Client) StoreStats(ctx context.Context) ([]subzero.WireStoreStats, error) {
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return stats.Stores, nil
+}
+
 // WorkloadProfile fetches the server's live workload profile — the
 // backward/forward mix, per-class latency quantiles, and per-operator
 // access-path hit counts from GET /v1/stats.

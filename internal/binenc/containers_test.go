@@ -1,0 +1,186 @@
+package binenc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// decodeContainerCells materializes a container-form set through the
+// streaming run decoder.
+func decodeContainerCells(t *testing.T, enc []byte) []uint64 {
+	t.Helper()
+	var cells []uint64
+	n, err := DecodeContainersInto(enc, func(start, length uint64) bool {
+		if length == 0 {
+			t.Fatal("zero-length run emitted")
+		}
+		for c := start; c < start+length; c++ {
+			cells = append(cells, c)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatalf("DecodeContainersInto: %v", err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d of %d bytes", n, len(enc))
+	}
+	return cells
+}
+
+func TestContainersGoldenBytes(t *testing.T) {
+	cases := []struct {
+		name  string
+		cells []uint64
+		want  []byte
+	}{
+		{"empty", nil, []byte{0}},
+		// count 3, nTiles=0 (sparse-direct), first 5 then gaps.
+		{"sparse-direct", []uint64{5, 9, 1024}, []byte{3, 0, 5, 4, 0xF7, 0x07}},
+		// 9 cells > SparseDirectMax: one tile, one run (gap 100, len 9):
+		// runs beats array and bitmap.
+		{"single-run", []uint64{100, 101, 102, 103, 104, 105, 106, 107, 108},
+			[]byte{9, 1, 1, 1, 100, 9}},
+		// A full tile has no payload.
+		{"full-tile", fullTile(0), append([]byte{0x80, 0x08, 1}, 3)},
+		// Every other cell of tile 2: 512 cells, 512 runs (~1KB), array
+		// ~514B, bitmap 128B wins. Header gap=2, type=2 -> 2<<2|2 = 10.
+		{"bitmap-tile", everyOther(2048, 512),
+			append([]byte{0x80, 0x04, 1, 10}, bytes.Repeat([]byte{0x55}, 128)...)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := AppendCellSetContainers(nil, tc.cells)
+			if !bytes.Equal(got, tc.want) {
+				t.Fatalf("encoded bytes = %v, want %v", got, tc.want)
+			}
+			back := decodeContainerCells(t, got)
+			if !sameCells(back, tc.cells) {
+				t.Fatalf("round trip = %v, want %v", back, tc.cells)
+			}
+		})
+	}
+}
+
+func fullTile(base uint64) []uint64 {
+	cells := make([]uint64, TileCells)
+	for i := range cells {
+		cells[i] = base + uint64(i)
+	}
+	return cells
+}
+
+func everyOther(base uint64, n int) []uint64 {
+	cells := make([]uint64, n)
+	for i := range cells {
+		cells[i] = base + 2*uint64(i)
+	}
+	return cells
+}
+
+// Random sets across the density spectrum must round-trip exactly and
+// agree with the v2 span codec's decode of the same set.
+func TestContainersRoundTripDensities(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	gapFns := []func() uint64{
+		func() uint64 { return 1 },                          // dense runs
+		func() uint64 { return uint64(1 + rng.Intn(2)) },    // ~60% density
+		func() uint64 { return uint64(1 + rng.Intn(7)) },    // medium scatter
+		func() uint64 { return uint64(1 + rng.Intn(5000)) }, // sparse
+	}
+	for gi, gap := range gapFns {
+		for trial := 0; trial < 30; trial++ {
+			n := 1 + rng.Intn(3000)
+			cells := make([]uint64, 0, n)
+			pos := uint64(rng.Intn(2000))
+			for i := 0; i < n; i++ {
+				cells = append(cells, pos)
+				pos += gap()
+			}
+			enc := AppendCellSetContainers(nil, cells)
+			got := decodeContainerCells(t, enc)
+			if !sameCells(got, cells) {
+				t.Fatalf("gap fn %d trial %d: round trip mismatch (%d cells)", gi, trial, n)
+			}
+
+			// The v2 codec over the same set must agree cell for cell.
+			v2 := AppendCellSetRuns(nil, cells)
+			var fromV2 []uint64
+			if _, err := DecodeRunsInto(v2, func(start, length uint64) bool {
+				for c := start; c < start+length; c++ {
+					fromV2 = append(fromV2, c)
+				}
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if !sameCells(got, fromV2) {
+				t.Fatalf("gap fn %d trial %d: containers disagree with v2 runs", gi, trial)
+			}
+		}
+	}
+}
+
+// Medium-density cell sets are the case the bitmap container exists
+// for. Strided masks (every other cell) are the v2 worst case — one
+// 2-byte run per cell pair vs 1 bit per cell — and must compress ≥5×.
+// Random scatter peaks at ~2 bytes per run around 50% density, so the
+// bound there is lower but still well above 3×.
+func TestContainersCompressMediumDensity(t *testing.T) {
+	strided := everyOther(0, 32*1024)
+	v2 := len(AppendCellSetRuns(nil, strided))
+	v3 := len(AppendCellSetContainers(nil, strided))
+	if v3*5 > v2 {
+		t.Fatalf("strided: v3 = %dB, v2 = %dB — want at least 5x smaller", v3, v2)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	var scatter []uint64
+	for c := uint64(0); c < 64*1024; c++ {
+		if rng.Intn(100) < 40 {
+			scatter = append(scatter, c)
+		}
+	}
+	v2 = len(AppendCellSetRuns(nil, scatter))
+	v3 = len(AppendCellSetContainers(nil, scatter))
+	if v3*3 > v2 {
+		t.Fatalf("scatter: v3 = %dB, v2 = %dB — want at least 3x smaller", v3, v2)
+	}
+}
+
+func TestWalkContainersRejectsMalformed(t *testing.T) {
+	valid := AppendCellSetContainers(nil, everyOther(0, 512))
+	cases := map[string][]byte{
+		"empty":                 {},
+		"truncated count":       {0x80},
+		"truncated tiles":       {5},
+		"sparse count too big":  {0xFF, 0xFF, 0x7F, 0},
+		"truncated sparse cell": {3, 0, 1, 1},
+		"sparse non-increasing": {3, 0, 1, 0, 1},
+		"truncated header":      {9, 1},
+		"truncated bitmap":      valid[:len(valid)-1],
+		"array zero cells":      {9, 1, 0, 0},
+		"array past tile":       {9, 1, 0, 9, 0xFF, 0x07, 1, 1, 1, 1, 1, 1, 1, 1},
+		"run zero length":       {9, 1, 1, 1, 0, 0},
+		"run past tile":         {9, 1, 1, 1, 0xFF, 0x07, 2},
+		"count mismatch":        {8, 1, 1, 1, 0, 4},
+	}
+	for name, src := range cases {
+		if _, _, err := WalkContainers(src, nil, nil); err == nil {
+			t.Errorf("%s: want error, got none", name)
+		}
+	}
+}
+
+func sameCells(got, want []uint64) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -4,7 +4,9 @@ import (
 	"math/rand"
 	"testing"
 
+	"subzero/internal/binenc"
 	"subzero/internal/bitmap"
+	"subzero/internal/grid"
 	"subzero/internal/kvstore"
 )
 
@@ -72,5 +74,96 @@ func TestWritePairsAllocBound(t *testing.T) {
 	perPair := allocs / float64(len(pairs))
 	if perPair > 10 {
 		t.Fatalf("FullOne write path allocates %.2f/pair, want <= 10 (capture overhead regression)", perPair)
+	}
+}
+
+// The in-situ container probe primitives must be allocation-free once a
+// record's tiles are promoted: addTo/intersects/contains on a warmed
+// containerSet are pure word arithmetic against the query bitmap.
+func TestContainerSetProbeAllocFree(t *testing.T) {
+	sp := grid.NewSpace(grid.Shape{64, 1024})
+	var cells []uint64
+	for c := uint64(0); c < 8192; c += 2 { // strided: bitmap containers
+		cells = append(cells, c)
+	}
+	for c := uint64(16384); c < 16384+2048; c++ { // dense: full tiles
+		cells = append(cells, c)
+	}
+	cells = append(cells, 40000, 40007, 40900) // scattered: array container
+	set, _, err := decodeCellSetContainers(binenc.AppendCellSetContainers(nil, cells))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, ok := set.(*containerSet)
+	if !ok {
+		t.Fatalf("decoded %T, want *containerSet", set)
+	}
+	dst := bitmap.New(sp)
+	q := bitmap.New(sp)
+	q.Set(4096)
+	cs.addTo(dst) // warm: promotes every tile block
+	if allocs := testing.AllocsPerRun(100, func() {
+		cs.addTo(dst)
+		cs.intersects(q)
+		cs.contains(16500)
+	}); allocs != 0 {
+		t.Fatalf("warmed containerSet probe allocates %.1f/op, want 0", allocs)
+	}
+	if got := dst.Count(); got != uint64(len(cells)) {
+		t.Fatalf("addTo set %d cells, want %d", got, len(cells))
+	}
+	if !cs.intersects(q) || !cs.contains(16500) || cs.contains(40001) {
+		t.Fatal("containerSet probe answers wrong")
+	}
+}
+
+// A warmed Backward on a store holding container-form (v3) records must
+// meet the same ≤25 allocs/op budget as the sparse case above: the
+// in-situ probe path adds no per-record or per-tile allocations after
+// tile blocks promote on first touch.
+func TestBackwardLookupAllocBoundV3Containers(t *testing.T) {
+	outSp := grid.NewSpace(grid.Shape{64, 1024})
+	inSps := []*grid.Space{grid.NewSpace(grid.Shape{64, 1024})}
+	rng := rand.New(rand.NewSource(51))
+	var pairs []RegionPair
+	for p := 0; p < 48; p++ {
+		rp := RegionPair{Ins: make([][]uint64, 1)}
+		ob := uint64(rng.Intn(60)) * 1024
+		for c := ob; c < ob+2048; c += 2 { // strided tile pair: bitmap containers
+			rp.Out = append(rp.Out, c)
+		}
+		ib := uint64(rng.Intn(60)) * 1024
+		for c := ib; c < ib+1024; c++ { // full tile
+			rp.Ins[0] = append(rp.Ins[0], c)
+		}
+		pairs = append(pairs, rp)
+	}
+	st, err := OpenStore(kvstore.NewMem(), StratFullOne, outSp, inSps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WritePairs(toStorePairs(StratFullOne, pairs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	q := randomQuery(rng, outSp, 600)
+	dst := bitmap.New(inSps[0])
+	for i := 0; i < 3; i++ {
+		dst.Clear()
+		if err := st.Backward(q, dst, 0, nil, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		dst.Clear()
+		if err := st.Backward(q, dst, 0, nil, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 25 {
+		t.Fatalf("warmed v3 Backward allocates %.1f/op, want <= 25 (container probe path allocating?)", allocs)
 	}
 }

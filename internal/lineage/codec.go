@@ -39,6 +39,21 @@ func cellKey(slot int, cell uint64) []byte {
 
 func metaKey(name string) []byte { return append([]byte{keyMeta}, name...) }
 
+// cellSet is a decoded record cell set as the lookup path consumes it:
+// word-parallel application to destination bitmaps (addTo), word-parallel
+// probing against query bitmaps (intersects), point membership, and
+// ordered iteration. Two implementations exist — runSet for v1/v2 records
+// (materialized runs) and containerSet for v3 records, which answers all
+// of these directly on the compressed container form.
+type cellSet interface {
+	addTo(dst *bitmap.Bitmap) uint64
+	intersects(q *bitmap.Bitmap) bool
+	contains(cell uint64) bool
+	forEach(fn func(cell uint64) bool)
+	cells(dst []uint64) []uint64
+	size() uint64
+}
+
 // runSet is a decoded cell set held as maximal runs — flat (start,
 // length) pairs sorted by start — plus the total cell count. The lookup
 // hot path applies whole runs to destination bitmaps (Bitmap.SetRun) and
@@ -115,12 +130,16 @@ func (rs *runSet) cells(dst []uint64) []uint64 {
 	return dst
 }
 
-// record is a decoded region-pair record. Cell sets are cached as runs,
-// not slices, so a record held in recCache costs O(runs) and replays into
-// a destination bitmap word-parallel.
+// size returns the total cell count.
+func (rs *runSet) size() uint64 { return rs.count }
+
+// record is a decoded region-pair record. Cell sets stay in their
+// compact form — runs for v1/v2, compressed containers for v3 — so a
+// record held in recCache costs far less than per-cell slices and
+// replays into a destination bitmap word-parallel.
 type record struct {
-	outs    runSet
-	ins     []runSet // nil for payload records
+	outs    cellSet
+	ins     []cellSet // nil for payload records
 	payload []byte
 }
 
@@ -128,19 +147,29 @@ type record struct {
 //
 //	0, 1 — v1 (pre-span): cell sets in per-cell delta+varint form
 //	2, 3 — v2 (span): cell sets in run-length (gap, length) form
+//	4, 5 — v3 (containers): cell sets in tiled container form
+//	       (binenc.AppendCellSetContainers), probed in situ
 //
-// Writers emit v2; readers accept both, so stores written by earlier
-// builds stay readable.
+// Writers emit the store's configured codec (v3 by default; see
+// Store.SetCodec); readers accept every version, so stores written by
+// earlier builds stay readable and versions may mix within one store.
 const (
-	recFull        = 0 // v1: explicit input cell sets follow
-	recPayload     = 1 // v1: payload blob follows
-	recFullRuns    = 2 // v2: run-length input cell sets follow
-	recPayloadRuns = 3 // v2: run-length outs + payload blob
+	recFull              = 0 // v1: explicit input cell sets follow
+	recPayload           = 1 // v1: payload blob follows
+	recFullRuns          = 2 // v2: run-length input cell sets follow
+	recPayloadRuns       = 3 // v2: run-length outs + payload blob
+	recFullContainers    = 4 // v3: container input cell sets follow
+	recPayloadContainers = 5 // v3: container outs + payload blob
 )
 
-// encodeRecord serializes a region pair as a (v2, run-length) pair-record
-// value.
-func encodeRecord(rp *RegionPair) []byte {
+// encodeRecord serializes a region pair with the default codec.
+func encodeRecord(rp *RegionPair) []byte { return encodeRecordV3(rp) }
+
+// encodeRecordV2 serializes a region pair as a (v2, run-length)
+// pair-record value. Kept callable — not just readable — so mixed-version
+// compat tests and the compress benchmark can build v2 stores, and the
+// golden v2 bytes stay pinned against the exact original encoder.
+func encodeRecordV2(rp *RegionPair) []byte {
 	var buf []byte
 	if rp.IsPayload() {
 		buf = append(buf, recPayloadRuns)
@@ -153,6 +182,27 @@ func encodeRecord(rp *RegionPair) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(rp.Ins)))
 	for _, in := range rp.Ins {
 		buf = binenc.AppendCellSetRuns(buf, in)
+	}
+	return buf
+}
+
+// encodeRecordV3 serializes a region pair as a (v3, tiled container)
+// pair-record value. Cell offsets are delta-coded against their tile
+// base, and each tile independently picks the smallest of the array,
+// run, and bitmap container forms.
+func encodeRecordV3(rp *RegionPair) []byte {
+	var buf []byte
+	if rp.IsPayload() {
+		buf = append(buf, recPayloadContainers)
+		buf = binenc.AppendCellSetContainers(buf, rp.Out)
+		buf = binenc.AppendBytes(buf, rp.Payload)
+		return buf
+	}
+	buf = append(buf, recFullContainers)
+	buf = binenc.AppendCellSetContainers(buf, rp.Out)
+	buf = binary.AppendUvarint(buf, uint64(len(rp.Ins)))
+	for _, in := range rp.Ins {
+		buf = binenc.AppendCellSetContainers(buf, in)
 	}
 	return buf
 }
@@ -179,22 +229,35 @@ func decodeCellSetAny(src []byte, runsForm bool, into *runSet) (int, error) {
 	})
 }
 
-// decodeRecord parses a pair-record value of either format version.
+// decodeCellSet decodes one cell set of the given record version into
+// its in-memory probe form: a runSet for v1/v2, and for v3 either a
+// containerSet wrapping the compressed bytes in situ or a runSet for the
+// tiny sparse-direct sets.
+func decodeCellSet(src []byte, flags byte) (cellSet, int, error) {
+	if flags >= recFullContainers {
+		return decodeCellSetContainers(src)
+	}
+	rs := &runSet{}
+	n, err := decodeCellSetAny(src, flags == recFullRuns || flags == recPayloadRuns, rs)
+	return rs, n, err
+}
+
+// decodeRecord parses a pair-record value of any format version.
 func decodeRecord(val []byte) (*record, error) {
 	if len(val) == 0 {
 		return nil, fmt.Errorf("lineage: empty pair record")
 	}
 	flags, rest := val[0], val[1:]
-	if flags > recPayloadRuns {
+	if flags > recPayloadContainers {
 		return nil, fmt.Errorf("lineage: unknown pair record flags %d", flags)
 	}
-	runsForm := flags == recFullRuns || flags == recPayloadRuns
-	isPayload := flags == recPayload || flags == recPayloadRuns
+	isPayload := flags == recPayload || flags == recPayloadRuns || flags == recPayloadContainers
 	rec := &record{}
-	n, err := decodeCellSetAny(rest, runsForm, &rec.outs)
+	outs, n, err := decodeCellSet(rest, flags)
 	if err != nil {
 		return nil, fmt.Errorf("lineage: pair record outs: %w", err)
 	}
+	rec.outs = outs
 	rest = rest[n:]
 	if isPayload {
 		payload, _, err := binenc.DecodeBytes(rest)
@@ -210,12 +273,13 @@ func decodeRecord(val []byte) (*record, error) {
 		return nil, fmt.Errorf("lineage: pair record input count")
 	}
 	rest = rest[read:]
-	rec.ins = make([]runSet, nIns)
+	rec.ins = make([]cellSet, nIns)
 	for i := range rec.ins {
-		n, err := decodeCellSetAny(rest, runsForm, &rec.ins[i])
+		in, n, err := decodeCellSet(rest, flags)
 		if err != nil {
 			return nil, fmt.Errorf("lineage: pair record input %d: %w", i, err)
 		}
+		rec.ins[i] = in
 		rest = rest[n:]
 	}
 	return rec, nil

@@ -64,9 +64,11 @@ func TestDecodeGoldenV1Records(t *testing.T) {
 }
 
 // The v2 span encoding is pinned too, so accidental format drift is
-// caught before it ships.
+// caught before it ships. These bytes must never change: v2 stores on
+// disk hold exactly this form, and SetCodec(CodecV2) must keep producing
+// it byte for byte.
 func TestEncodeGoldenV2Records(t *testing.T) {
-	got := encodeRecord(&RegionPair{Out: []uint64{1, 5, 9}, Ins: [][]uint64{{0, 2}, {7}}})
+	got := encodeRecordV2(&RegionPair{Out: []uint64{1, 5, 9}, Ins: [][]uint64{{0, 2}, {7}}})
 	// flags=2; outs: 3 runs (gap 1,len 1)(gap 3,len 1)(gap 3,len 1);
 	// 2 inputs: {0,2} = 2 runs, {7} = 1 run.
 	want := []byte{2, 3, 1, 1, 3, 1, 3, 1, 2, 2, 0, 1, 1, 1, 1, 7, 1}
@@ -74,19 +76,65 @@ func TestEncodeGoldenV2Records(t *testing.T) {
 		t.Fatalf("v2 full record bytes = %v, want %v", got, want)
 	}
 	// A dense run collapses: outs {10..15} is one (gap 10, len 6) pair.
-	got = encodeRecord(&RegionPair{Out: []uint64{10, 11, 12, 13, 14, 15}, Payload: []byte{1}})
+	got = encodeRecordV2(&RegionPair{Out: []uint64{10, 11, 12, 13, 14, 15}, Payload: []byte{1}})
 	want = []byte{3, 1, 10, 6, 1, 1}
 	if !bytes.Equal(got, want) {
 		t.Fatalf("v2 payload record bytes = %v, want %v", got, want)
 	}
 }
 
-// Every v1 record an old store could contain must decode to the same
-// cell sets as its v2 re-encoding.
-func TestV1V2DecodeEquivalence(t *testing.T) {
+// The v3 container encoding is pinned the same way — and encodeRecord
+// (the default codec) must emit exactly these bytes.
+func TestEncodeGoldenV3Records(t *testing.T) {
+	got := encodeRecord(&RegionPair{Out: []uint64{1, 5, 9}, Ins: [][]uint64{{0, 2}, {7}}})
+	// flags=4; every set is tiny, so all take the sparse-direct form
+	// (count, nTiles=0, first+gaps): outs {1,5,9}, then 2 inputs {0,2}
+	// and {7}.
+	want := []byte{4, 3, 0, 1, 4, 4, 2, 2, 0, 0, 2, 1, 0, 7}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("v3 full record bytes = %v, want %v", got, want)
+	}
+	if rec, err := decodeRecord(got); err != nil {
+		t.Fatal(err)
+	} else if !equalU64(rec.outs.cells(nil), []uint64{1, 5, 9}) {
+		t.Fatalf("v3 sparse decode = %v", rec.outs.cells(nil))
+	}
+
+	// A full tile plus a 6-cell run in the next tile: count 1030 (2
+	// varint bytes), 2 tiles; tile 0 is type full (header 0<<2|3, no
+	// payload); tile 1 (gap 0) is type runs (header 0<<2|1) with one
+	// (gap 10, len 6) run.
+	out := make([]uint64, 0, 1030)
+	for c := uint64(0); c < 1024; c++ {
+		out = append(out, c)
+	}
+	for c := uint64(1034); c < 1040; c++ {
+		out = append(out, c)
+	}
+	got = encodeRecord(&RegionPair{Out: out, Payload: []byte{1}})
+	want = []byte{5, 0x86, 0x08, 2, 3, 1, 1, 10, 6, 1, 1}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("v3 payload record bytes = %v, want %v", got, want)
+	}
+	rec, err := decodeRecord(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.outs.size() != 1030 || !equalU64(rec.outs.cells(nil), out) || !bytes.Equal(rec.payload, []byte{1}) {
+		t.Fatalf("v3 container decode: size %d", rec.outs.size())
+	}
+}
+
+// Every record any store could contain must decode to the same cell sets
+// whichever of the three codecs wrote it.
+func TestV1V2V3DecodeEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for trial := 0; trial < 200; trial++ {
-		rp := RegionPair{Out: randCells(rng, 1+rng.Intn(40))}
+		n := 1 + rng.Intn(40)
+		if trial%5 == 0 {
+			n = 600 + rng.Intn(1200) // force tiled containers in v3
+		}
+		rp := RegionPair{Out: randCells(rng, n)}
 		if rng.Intn(2) == 0 {
 			rp.Ins = [][]uint64{randCells(rng, 1+rng.Intn(40)), randCells(rng, 1+rng.Intn(10))}
 		} else {
@@ -96,23 +144,28 @@ func TestV1V2DecodeEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d v1: %v", trial, err)
 		}
-		v2, err := decodeRecord(encodeRecord(&rp))
-		if err != nil {
-			t.Fatalf("trial %d v2: %v", trial, err)
-		}
-		if !equalU64(v1.outs.cells(nil), v2.outs.cells(nil)) {
-			t.Fatalf("trial %d outs differ", trial)
-		}
-		if len(v1.ins) != len(v2.ins) {
-			t.Fatalf("trial %d ins arity differ", trial)
-		}
-		for i := range v1.ins {
-			if !equalU64(v1.ins[i].cells(nil), v2.ins[i].cells(nil)) {
-				t.Fatalf("trial %d input %d differ", trial, i)
+		for name, enc := range map[string]func(*RegionPair) []byte{"v2": encodeRecordV2, "v3": encodeRecordV3} {
+			rec, err := decodeRecord(enc(&rp))
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
 			}
-		}
-		if !bytes.Equal(v1.payload, v2.payload) {
-			t.Fatalf("trial %d payload differ", trial)
+			if !equalU64(v1.outs.cells(nil), rec.outs.cells(nil)) {
+				t.Fatalf("trial %d %s outs differ", trial, name)
+			}
+			if rec.outs.size() != uint64(len(v1.outs.cells(nil))) {
+				t.Fatalf("trial %d %s size = %d", trial, name, rec.outs.size())
+			}
+			if len(v1.ins) != len(rec.ins) {
+				t.Fatalf("trial %d %s ins arity differ", trial, name)
+			}
+			for i := range v1.ins {
+				if !equalU64(v1.ins[i].cells(nil), rec.ins[i].cells(nil)) {
+					t.Fatalf("trial %d %s input %d differ", trial, name, i)
+				}
+			}
+			if !bytes.Equal(v1.payload, rec.payload) {
+				t.Fatalf("trial %d %s payload differ", trial, name)
+			}
 		}
 	}
 }
@@ -131,8 +184,83 @@ func randCells(rng *rand.Rand, n int) []uint64 {
 	return cells
 }
 
+// A mixed-version store — some pairs written with the v2 codec, some
+// with v3 — must answer queries identically to the same lineage written
+// all-v2. Versioning is per record, so codec flips mid-store (an old
+// store reopened by a new build keeps appending) must be invisible to
+// lookups.
+func TestMixedVersionStoreAnswersLikeV2(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	pairs := randomPairs(rng, 120)
+	for _, strat := range []Strategy{StratFullOne, StratFullMany} {
+		t.Run(strat.String(), func(t *testing.T) {
+			stV2, err := OpenStore(kvstore.NewMem(), strat, tOutSpace, tInSpaces)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := stV2.SetCodec(CodecV2); err != nil {
+				t.Fatal(err)
+			}
+			if err := stV2.WritePairs(pairs); err != nil {
+				t.Fatal(err)
+			}
+			if err := stV2.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			stMix, err := OpenStore(kvstore.NewMem(), strat, tOutSpace, tInSpaces)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := stMix.SetCodec(CodecV2); err != nil {
+				t.Fatal(err)
+			}
+			if err := stMix.WritePairs(pairs[:60]); err != nil {
+				t.Fatal(err)
+			}
+			if err := stMix.SetCodec(CodecV3); err != nil {
+				t.Fatal(err)
+			}
+			if err := stMix.WritePairs(pairs[60:]); err != nil {
+				t.Fatal(err)
+			}
+			if err := stMix.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			qrng := rand.New(rand.NewSource(5))
+			for trial := 0; trial < 25; trial++ {
+				q := randomQuery(qrng, tOutSpace, 40)
+				for input := range tInSpaces {
+					a, b := bitmap.New(tInSpaces[input]), bitmap.New(tInSpaces[input])
+					if err := stV2.Backward(q, a, input, testMapP, nil, nil); err != nil {
+						t.Fatal(err)
+					}
+					if err := stMix.Backward(q, b, input, testMapP, nil, nil); err != nil {
+						t.Fatal(err)
+					}
+					if !sameBitmap(a, b) {
+						t.Fatalf("trial %d input %d: mixed-version backward differs from all-v2", trial, input)
+					}
+				}
+				fq := randomQuery(qrng, tInSpaces[0], 40)
+				a, b := bitmap.New(tOutSpace), bitmap.New(tOutSpace)
+				if err := stV2.Forward(fq, a, 0, testMapP, nil); err != nil {
+					t.Fatal(err)
+				}
+				if err := stMix.Forward(fq, b, 0, testMapP, nil); err != nil {
+					t.Fatal(err)
+				}
+				if !sameBitmap(a, b) {
+					t.Fatalf("trial %d: mixed-version forward differs from all-v2", trial)
+				}
+			}
+		})
+	}
+}
+
 // A store whose hashtable was written entirely by the v1 encoder must
-// reopen and answer queries identically to a freshly written v2 store.
+// reopen and answer queries identically to a freshly written store.
 func TestStoreReadsV1Records(t *testing.T) {
 	outSp := grid.NewSpace(grid.Shape{16, 16})
 	inSp := []*grid.Space{grid.NewSpace(grid.Shape{16, 16})}

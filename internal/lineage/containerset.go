@@ -1,0 +1,202 @@
+package lineage
+
+import (
+	"encoding/binary"
+	"math/bits"
+	"sort"
+	"sync/atomic"
+
+	"subzero/internal/binenc"
+	"subzero/internal/bitmap"
+)
+
+// The container tile width and the bitmap block width must agree for the
+// word-parallel probe path to line up; this fails to compile if they
+// drift apart.
+var _ [binenc.TileWords - bitmap.BlockWords]struct{}
+var _ [bitmap.BlockWords - binenc.TileWords]struct{}
+
+// containerSet is a v3 record cell set answered directly on its
+// compressed form. It keeps one copy of the encoded container bytes and
+// an index of (tile base, type, payload) built in a single validating
+// pass at decode time — no per-cell materialization.
+//
+// Probes work in situ: full tiles go through the existing word-parallel
+// run primitives, bitmap containers are tested straight off their
+// little-endian payload, and array/run containers are lazily promoted —
+// once, on first probe — to a 16-word bit block shared by later probes.
+// Promotion is per tile and race-safe: records live in the recCache and
+// are probed by concurrent lookups, so blocks install via CAS on an
+// atomic pointer (losing a benign race just discards a duplicate block).
+type containerSet struct {
+	data   []byte // copied container encoding; tile payloads alias it
+	total  uint64
+	tiles  []ctile
+	blocks []atomic.Pointer[[binenc.TileWords]uint64]
+}
+
+// ctile is one indexed container: the tile's first cell index, its
+// container type, and its payload bytes within data.
+type ctile struct {
+	base uint64
+	typ  byte
+	pay  []byte
+}
+
+// decodeCellSetContainers parses a v3 container-form cell set. Tiny
+// sparse-direct sets decode to a runSet (they carry no containers);
+// everything else wraps the compressed bytes in a containerSet.
+func decodeCellSetContainers(src []byte) (cellSet, int, error) {
+	type tileMeta struct {
+		base           uint64
+		typ            byte
+		payOff, payLen int
+	}
+	var rs *runSet
+	var metas []tileMeta
+	total, n, err := binenc.WalkContainers(src,
+		func(cell uint64) bool {
+			if rs == nil {
+				rs = &runSet{}
+			}
+			rs.appendRun(cell, 1)
+			return true
+		},
+		func(base uint64, typ byte, payOff, payLen int) bool {
+			metas = append(metas, tileMeta{base, typ, payOff, payLen})
+			return true
+		})
+	if err != nil {
+		return nil, 0, err
+	}
+	if metas == nil {
+		if rs == nil {
+			rs = &runSet{} // empty set
+		}
+		return rs, n, nil
+	}
+	data := make([]byte, n)
+	copy(data, src[:n])
+	cs := &containerSet{
+		data:   data,
+		total:  total,
+		tiles:  make([]ctile, len(metas)),
+		blocks: make([]atomic.Pointer[[binenc.TileWords]uint64], len(metas)),
+	}
+	for i, m := range metas {
+		cs.tiles[i] = ctile{base: m.base, typ: m.typ, pay: data[m.payOff : m.payOff+m.payLen]}
+	}
+	return cs, n, nil
+}
+
+// block returns tile i promoted to its bit block, promoting on first use.
+func (cs *containerSet) block(i int) *[binenc.TileWords]uint64 {
+	if blk := cs.blocks[i].Load(); blk != nil {
+		return blk
+	}
+	blk := new([binenc.TileWords]uint64)
+	// The payload was validated by WalkContainers at decode time, so
+	// expansion cannot fail; a zero block is the safe result if it ever
+	// did.
+	_, _ = binenc.ExpandContainer(cs.tiles[i].typ, cs.tiles[i].pay, blk)
+	if !cs.blocks[i].CompareAndSwap(nil, blk) {
+		blk = cs.blocks[i].Load()
+	}
+	return blk
+}
+
+// addTo ORs the set's cells into dst word-parallel, returning the number
+// newly set.
+func (cs *containerSet) addTo(dst *bitmap.Bitmap) uint64 {
+	var added uint64
+	for i := range cs.tiles {
+		t := &cs.tiles[i]
+		if t.typ == binenc.ContainerFull {
+			added += dst.SetRun(t.base, binenc.TileCells)
+			continue
+		}
+		added += dst.OrBlock(t.base, cs.block(i))
+	}
+	return added
+}
+
+// intersects reports whether any cell of the set is set in q.
+func (cs *containerSet) intersects(q *bitmap.Bitmap) bool {
+	for i := range cs.tiles {
+		t := &cs.tiles[i]
+		if t.typ == binenc.ContainerFull {
+			if q.AnyInRange(t.base, binenc.TileCells) {
+				return true
+			}
+			continue
+		}
+		if q.AnyBlock(t.base, cs.block(i)) {
+			return true
+		}
+	}
+	return false
+}
+
+// contains reports whether the set holds cell, by binary search over the
+// tile bases. Bitmap containers are tested straight off their payload
+// bytes; array/run containers through their promoted block.
+func (cs *containerSet) contains(cell uint64) bool {
+	i := sort.Search(len(cs.tiles), func(i int) bool { return cs.tiles[i].base > cell })
+	if i == 0 {
+		return false
+	}
+	t := &cs.tiles[i-1]
+	off := cell - t.base
+	if off >= binenc.TileCells {
+		return false
+	}
+	switch t.typ {
+	case binenc.ContainerFull:
+		return true
+	case binenc.ContainerBitmap:
+		word := binary.LittleEndian.Uint64(t.pay[(off/64)*8:])
+		return word&(uint64(1)<<(off%64)) != 0
+	}
+	blk := cs.block(i - 1)
+	return blk[off/64]&(uint64(1)<<(off%64)) != 0
+}
+
+// forEach calls fn with every cell in ascending order until fn returns
+// false.
+func (cs *containerSet) forEach(fn func(cell uint64) bool) {
+	for i := range cs.tiles {
+		t := &cs.tiles[i]
+		if t.typ == binenc.ContainerFull {
+			for c := t.base; c < t.base+binenc.TileCells; c++ {
+				if !fn(c) {
+					return
+				}
+			}
+			continue
+		}
+		blk := cs.block(i)
+		for wi := range blk {
+			word := blk[wi]
+			base := t.base + uint64(wi)*64
+			for word != 0 {
+				if !fn(base + uint64(bits.TrailingZeros64(word))) {
+					return
+				}
+				word &= word - 1
+			}
+		}
+	}
+}
+
+// cells materializes the set as a sorted index slice (tests and
+// diagnostics only — lookups stay on containers).
+func (cs *containerSet) cells(dst []uint64) []uint64 {
+	cs.forEach(func(c uint64) bool {
+		dst = append(dst, c)
+		return true
+	})
+	return dst
+}
+
+// size returns the total cell count, carried by the encoding.
+func (cs *containerSet) size() uint64 { return cs.total }

@@ -54,3 +54,24 @@ const (
 	// EstTreeInsert is one R-tree insertion.
 	EstTreeInsert = 1800 * time.Nanosecond
 )
+
+// v3 container-codec estimation constants. Stores default to the tiled
+// container record form (CodecV3), which changes both the size and the
+// probe cost the optimizers should assume for un-profiled strategies.
+const (
+	// EstBytesPerCellV3 is the average encoded size of one cell index
+	// under the v3 container codec: the bitmap container caps every tile
+	// at 1 bit per cell (0.125 B), run containers compress clustered
+	// regions below that, and tiny sets fall back to varint sparse-direct
+	// near the v1 cost. The blend across the benchmark workloads sits well
+	// under one byte per cell.
+	EstBytesPerCellV3 = 0.6
+	// EstWritePerPairV3 is the fixed per-pair lwrite cost under the v3
+	// encoder — below EstWritePerPair because dense tiles are emitted as
+	// fixed-width words or run pairs instead of per-cell varint appends.
+	EstWritePerPairV3 = 550 * time.Nanosecond
+	// CostScanPairV3 is scanning one v3 pair record in an unindexed
+	// probe: the query bitmap is intersected in situ against the
+	// compressed containers, word-parallel, with no run materialization.
+	CostScanPairV3 = 900 * time.Nanosecond
+)

@@ -121,6 +121,11 @@ type Store struct {
 	// deterministic regardless of shard scheduling.
 	nextPair atomic.Uint64
 
+	// codec is the record format written for new pairs (CodecV2 or
+	// CodecV3); reads always accept every version, so one store may mix
+	// them.
+	codec atomic.Uint32
+
 	// mu guards the pending buffers and the record cache.
 	mu sync.Mutex
 
@@ -188,6 +193,7 @@ func OpenStore(kv kvstore.Store, strat Strategy, outSpace *grid.Space, inSpaces 
 		kv:       kv,
 		recCache: make(map[uint64]*record),
 	}
+	s.codec.Store(CodecV3)
 	nSlots := 1
 	if strat.Orient == ForwardOpt {
 		nSlots = len(inSpaces)
@@ -394,6 +400,38 @@ func (s *Store) rebuildMeta() error {
 	return nil
 }
 
+// Record codec versions selectable for newly written pairs. Reads accept
+// every version regardless of this setting.
+const (
+	// CodecV2 is the run-length record format (flags 2/3).
+	CodecV2 = 2
+	// CodecV3 is the tiled container format (flags 4/5), answered in
+	// situ by lookups. The default.
+	CodecV3 = 3
+)
+
+// SetCodec selects the record format for subsequently written pairs.
+// Benchmarks and compat tests use it to build v2 stores; production
+// stores keep the v3 default.
+func (s *Store) SetCodec(v int) error {
+	if v != CodecV2 && v != CodecV3 {
+		return fmt.Errorf("lineage: unknown record codec %d", v)
+	}
+	s.codec.Store(uint32(v))
+	return nil
+}
+
+// Codec returns the record format written for new pairs.
+func (s *Store) Codec() int { return int(s.codec.Load()) }
+
+// encodePair serializes one region pair with the store's codec.
+func (s *Store) encodePair(rp *RegionPair) []byte {
+	if s.codec.Load() == CodecV2 {
+		return encodeRecordV2(rp)
+	}
+	return encodeRecordV3(rp)
+}
+
 // Strategy returns the store's strategy.
 func (s *Store) Strategy() Strategy { return s.strat }
 
@@ -558,7 +596,7 @@ func (s *Store) ingestBatch(pairs []RegionPair, ids []uint64) error {
 	if ids != nil {
 		recs := make([]kvstore.KV, len(pairs))
 		for i := range pairs {
-			recs[i] = kvstore.KV{Key: pairKey(ids[i]), Val: encodeRecord(&pairs[i])}
+			recs[i] = kvstore.KV{Key: pairKey(ids[i]), Val: s.encodePair(&pairs[i])}
 		}
 		if err := kvstore.PutBatch(s.kv, recs); err != nil {
 			return err
@@ -904,6 +942,16 @@ func (s *Store) decodeStats(val []byte) {
 	s.writeNS.Store(int64(st.WriteTime))
 	s.enqueueNS.Store(int64(st.EnqueueTime))
 	s.flushNS.Store(int64(st.FlushTime))
+}
+
+// LogicalBytes returns the uncompressed footprint of the lineage this
+// store holds — 8 bytes per stored out/in cell index plus the raw
+// payload bytes — the denominator of the store's compression ratio
+// (SizeBytes / LogicalBytes). It is derived from the accumulated volume
+// stats, so it survives reopen like the rest of StoreStats.
+func (s *Store) LogicalBytes() int64 {
+	st := s.Stats()
+	return (st.OutCells+st.InCells)*8 + st.PayloadBytes
 }
 
 // SizeBytes returns the storage charged to this store: the hashtable size

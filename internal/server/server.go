@@ -492,6 +492,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Workload: subzero.NewWireWorkloadProfile(s.obs),
 		Degraded: subzero.NewWireDegradedStores(s.sys.DegradedStores()),
 		Heals:    wireHealStats(s.sys),
+		Stores:   subzero.NewWireStoreStats(s.sys.StoreInventory()),
 	})
 }
 

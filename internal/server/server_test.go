@@ -156,6 +156,22 @@ func TestServerEndToEndGenomics(t *testing.T) {
 	if stats.Runs != 1 || stats.LineageBytes <= 0 {
 		t.Fatalf("stats: %+v", stats)
 	}
+	// The per-store inventory carries compressed vs logical footprints.
+	storeStats, err := c.StoreStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(storeStats) == 0 {
+		t.Fatal("stats carries no per-store inventory")
+	}
+	for _, ss := range storeStats {
+		if ss.Run != info.ID || ss.Node == "" || ss.Strategy == "" {
+			t.Fatalf("store stat: %+v", ss)
+		}
+		if ss.Codec != 3 || ss.StoredBytes <= 0 || ss.LogicalBytes <= 0 || ss.Ratio <= 0 {
+			t.Fatalf("store stat footprint: %+v", ss)
+		}
+	}
 	runs, err := c.Runs(ctx)
 	if err != nil {
 		t.Fatal(err)

@@ -312,6 +312,49 @@ func (s *System) DegradedStores() []DegradedStore {
 	return out
 }
 
+// StoreStat is one lineage store's footprint in the system inventory:
+// its stored (compressed) size next to the logical cell volume the
+// records represent, plus the record codec that produced it.
+type StoreStat struct {
+	Run          string
+	Node         string
+	Strategy     string
+	Codec        int
+	Pairs        int
+	StoredBytes  int64
+	LogicalBytes int64
+}
+
+// StoreInventory lists every lineage store across all registered runs,
+// in run-completion order, with its compressed and logical footprint.
+// The serving layer surfaces this in /v1/stats so compression ratios
+// can be watched per store.
+func (s *System) StoreInventory() []StoreStat {
+	s.mu.RLock()
+	order := make([]string, len(s.runOrder))
+	copy(order, s.runOrder)
+	runs := make(map[string]*workflow.Run, len(s.runs))
+	for id, r := range s.runs {
+		runs[id] = r
+	}
+	s.mu.RUnlock()
+	var out []StoreStat
+	for _, id := range order {
+		runs[id].EachStore(func(nodeID string, st *lineage.Store) {
+			out = append(out, StoreStat{
+				Run:          id,
+				Node:         nodeID,
+				Strategy:     st.Strategy().ID(),
+				Codec:        st.Codec(),
+				Pairs:        st.NumPairs(),
+				StoredBytes:  st.SizeBytes(),
+				LogicalBytes: st.LogicalBytes(),
+			})
+		})
+	}
+	return out
+}
+
 // BatchReport aggregates one QueryBatch call.
 type BatchReport struct {
 	Queries   int           // queries submitted

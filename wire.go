@@ -598,6 +598,47 @@ func NewWireDegradedStores(ds []DegradedStore) []WireDegradedStore {
 	return out
 }
 
+// WireStoreStats is one lineage store's footprint in GET /v1/stats: its
+// stored (compressed) size next to the logical volume its records
+// represent (8 bytes per stored cell index plus payload bytes), and the
+// record codec that produced it. Ratio is logical/stored — higher is
+// better; ~1.0 means the codec is breaking even against raw indices.
+type WireStoreStats struct {
+	Run          string  `json:"run"`
+	Node         string  `json:"node"`
+	Strategy     string  `json:"strategy"`
+	Codec        int     `json:"codec"`
+	Pairs        int     `json:"pairs"`
+	StoredBytes  int64   `json:"stored_bytes"`
+	LogicalBytes int64   `json:"logical_bytes"`
+	Ratio        float64 `json:"ratio"`
+}
+
+// NewWireStoreStats converts the system's store inventory to its wire
+// form (nil when no runs are registered, so empty stats omit the field).
+func NewWireStoreStats(ss []StoreStat) []WireStoreStats {
+	if len(ss) == 0 {
+		return nil
+	}
+	out := make([]WireStoreStats, len(ss))
+	for i, s := range ss {
+		w := WireStoreStats{
+			Run:          s.Run,
+			Node:         s.Node,
+			Strategy:     s.Strategy,
+			Codec:        s.Codec,
+			Pairs:        s.Pairs,
+			StoredBytes:  s.StoredBytes,
+			LogicalBytes: s.LogicalBytes,
+		}
+		if s.StoredBytes > 0 {
+			w.Ratio = float64(s.LogicalBytes) / float64(s.StoredBytes)
+		}
+		out[i] = w
+	}
+	return out
+}
+
 // WireHealStats reports background store-rebuild outcomes since startup.
 type WireHealStats struct {
 	Attempts  int64 `json:"attempts"`
@@ -616,6 +657,9 @@ type WireStats struct {
 	Workload     WireWorkloadProfile `json:"workload"`
 	Degraded     []WireDegradedStore `json:"degraded,omitempty"`
 	Heals        WireHealStats       `json:"heals"`
+	// Stores inventories every lineage store with its compressed vs
+	// logical footprint (see WireStoreStats).
+	Stores []WireStoreStats `json:"stores,omitempty"`
 }
 
 // WireHealth is the body of GET /v1/healthz.

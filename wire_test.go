@@ -158,6 +158,42 @@ func TestWireIngestStatsJSONCompat(t *testing.T) {
 	}
 }
 
+// TestWireStoreStatsJSONCompat pins the JSON field names of
+// WireStoreStats: once shipped, keys are widened, never renamed.
+func TestWireStoreStatsJSONCompat(t *testing.T) {
+	ws := subzero.NewWireStoreStats([]subzero.StoreStat{{
+		Run: "r1", Node: "n1", Strategy: "<-Full/One",
+		Codec: 3, Pairs: 10, StoredBytes: 500, LogicalBytes: 4000,
+	}})
+	if len(ws) != 1 {
+		t.Fatalf("got %d wire stats, want 1", len(ws))
+	}
+	blob, err := json.Marshal(ws[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(blob, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for key, val := range map[string]any{
+		"run": "r1", "node": "n1", "strategy": "<-Full/One",
+		"codec": 3.0, "pairs": 10.0, "stored_bytes": 500.0,
+		"logical_bytes": 4000.0, "ratio": 8.0,
+	} {
+		got, ok := raw[key]
+		if !ok {
+			t.Fatalf("key %q missing in %s", key, blob)
+		}
+		if got != val {
+			t.Fatalf("key %q = %v, want %v", key, got, val)
+		}
+	}
+	if got := subzero.NewWireStoreStats(nil); got != nil {
+		t.Fatalf("empty inventory = %v, want nil", got)
+	}
+}
+
 func TestWireWorkloadProfileEmpty(t *testing.T) {
 	p := subzero.NewWireWorkloadProfile(nil)
 	if p.BackwardQueries != 0 || p.ForwardQueries != 0 || len(p.Classes) != 0 || len(p.Operators) != 0 {
